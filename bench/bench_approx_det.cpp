@@ -1,0 +1,83 @@
+// E1 / E2 — Theorems 4.1 and 4.2: the (distributed) moat-growing algorithm is
+// a 2-approximation (exact events) resp. (2+ε)-approximation (rounded radii).
+//
+// Series reported: for each ε ∈ {0, 0.1, 0.25, 0.5, 1.0}, the worst and mean
+// ratio of the algorithm's weight to the exact optimum over a batch of random
+// instances, plus the ratio against the dual lower bound Σ act·µ (Lemma C.4)
+// on larger instances where the exact solver is out of reach.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+#include "steiner/exact.hpp"
+#include "steiner/moat.hpp"
+#include "steiner/validate.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_ApproxVsExact(benchmark::State& state) {
+  const Real eps = static_cast<Real>(state.range(0)) / 100.0L;
+  for (auto _ : state) {
+    double worst = 0.0;
+    double sum = 0.0;
+    int count = 0;
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+      SplitMix64 rng(seed * 37 + 5);
+      const Graph g = MakeConnectedRandom(14, 0.25, 1, 16, rng);
+      const IcInstance ic = bench::SpreadComponents(14, 2, rng);
+      DetMoatOptions opt;
+      opt.epsilon = eps;
+      const auto res = RunDistributedMoat(g, ic, opt, seed + 1);
+      const Weight optimum = ExactSteinerForestWeight(g, ic);
+      if (optimum == 0) continue;
+      const double ratio = static_cast<double>(g.WeightOf(res.forest)) /
+                           static_cast<double>(optimum);
+      worst = std::max(worst, ratio);
+      sum += ratio;
+      ++count;
+    }
+    state.counters["worst_ratio"] = worst;
+    state.counters["mean_ratio"] = sum / count;
+    state.counters["paper_bound"] = 2.0 + static_cast<double>(eps);
+  }
+}
+BENCHMARK(BM_ApproxVsExact)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApproxVsDualBound(benchmark::State& state) {
+  // Larger instances: compare against the primal-dual lower bound instead of
+  // the (exponential) exact solver. Theorem 4.1: W(F) < 2 Σ act·µ <= 2 OPT.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      SplitMix64 rng(seed * 13 + 1);
+      const Graph g = MakeConnectedRandom(n, 0.08, 1, 64, rng);
+      const IcInstance ic = bench::SpreadComponents(n, 5, rng);
+      const auto res = RunDistributedMoat(g, ic, {}, seed + 1);
+      const double ratio =
+          static_cast<double>(ToFixed(g.WeightOf(res.forest))) /
+          static_cast<double>(res.dual_sum);
+      worst = std::max(worst, ratio);
+    }
+    state.counters["worst_vs_dual"] = worst;  // must stay < 2
+    state.counters["paper_bound"] = 2.0;
+  }
+}
+BENCHMARK(BM_ApproxVsDualBound)
+    ->Arg(40)
+    ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

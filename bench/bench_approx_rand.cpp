@@ -1,0 +1,87 @@
+// E5 (quality) — Theorem 5.2: the randomized algorithm is an O(log n)
+// approximation w.h.p. Measured: ratio to the exact optimum across seeds,
+// for 1 and for c·log n repetitions (the paper's amplification), plus the
+// stage-1-only weight in the truncated regime.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "dist/randomized.hpp"
+#include "steiner/exact.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_RandApproxRatio(benchmark::State& state) {
+  const int reps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double worst = 0.0;
+    double sum = 0.0;
+    int count = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      SplitMix64 rng(seed * 101 + 11);
+      const Graph g = MakeConnectedRandom(16, 0.2, 1, 24, rng);
+      const IcInstance ic = bench::SpreadComponents(16, 2, rng);
+      RandomizedOptions opt;
+      opt.repetitions = reps;
+      const auto res = RunRandomizedSteinerForest(g, ic, opt, seed + 1);
+      const Weight optimum = ExactSteinerForestWeight(g, ic);
+      if (optimum == 0) continue;
+      const double ratio = static_cast<double>(g.WeightOf(res.forest)) /
+                           static_cast<double>(optimum);
+      worst = std::max(worst, ratio);
+      sum += ratio;
+      ++count;
+    }
+    state.counters["worst_ratio"] = worst;
+    state.counters["mean_ratio"] = sum / count;
+    state.counters["log2_n"] = std::log2(16.0);
+  }
+}
+BENCHMARK(BM_RandApproxRatio)
+    ->Arg(1)
+    ->Arg(4)  // ~ log2 n repetitions
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandApproxTruncated(benchmark::State& state) {
+  // s > √n regime: stage 1 + F-reduced stage 2. The combined output must
+  // stay within the O(log n) envelope.
+  for (auto _ : state) {
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      SplitMix64 rng(seed * 7 + 3);
+      const Graph base = MakeConnectedRandom(8, 0.3, 1, 6, rng);
+      const Graph g = SubdivideEdges(base, 10);
+      SplitMix64 trng(seed);
+      std::vector<std::pair<NodeId, Label>> assign;
+      for (int c = 0; c < 2; ++c) {
+        assign.push_back({static_cast<NodeId>(trng.NextBelow(8)),
+                          static_cast<Label>(c + 1)});
+        assign.push_back({static_cast<NodeId>(trng.NextBelow(8)),
+                          static_cast<Label>(c + 1)});
+      }
+      IcInstance ic;
+      ic.labels.assign(static_cast<std::size_t>(g.NumNodes()), kNoLabel);
+      for (const auto& [v, l] : assign) {
+        ic.labels[static_cast<std::size_t>(v)] = l;
+      }
+      const Weight optimum = ExactSteinerForestWeight(g, ic);
+      if (optimum == 0) continue;
+      const auto res = RunRandomizedSteinerForest(g, ic, {}, seed + 1);
+      const double ratio = static_cast<double>(g.WeightOf(res.forest)) /
+                           static_cast<double>(optimum);
+      worst = std::max(worst, ratio);
+      state.counters["truncated"] = res.truncated ? 1 : 0;
+      state.counters["reduced_terminals"] = res.reduced_terminals;
+    }
+    state.counters["worst_ratio"] = worst;
+  }
+}
+BENCHMARK(BM_RandApproxTruncated)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

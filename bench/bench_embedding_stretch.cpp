@@ -1,0 +1,97 @@
+// E6 — embedding quality (Khan et al. substrate of Section 5): the virtual
+// tree's expected distortion is O(log n), and no node lies on more than
+// O(log n) distinct least-weight ancestor paths (the LE-list length).
+//
+// Measured per graph family: mean/max tree-distance stretch over node pairs
+// (tree distance = 2 Σ_{i<=ℓ} β 2^i, ℓ = first common-ancestor level), and
+// the maximum LE-list length (== the per-node path load of the paper's key
+// pipelining lemma).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "dist/embedding.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dsf {
+namespace {
+
+void MeasureStretch(benchmark::State& state, const Graph& g,
+                    std::uint64_t seeds) {
+  double sum_mean = 0.0;
+  double worst = 0.0;
+  double max_list = 0.0;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const auto emb = ComputeEmbeddingReference(g, seed);
+    std::vector<std::vector<Weight>> dist;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      dist.push_back(Dijkstra(g, v).dist);
+    }
+    double sum = 0.0;
+    long count = 0;
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+        const Weight d =
+            dist[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+        if (d == 0 || d >= kInfWeight) continue;
+        // First level with a common ancestor.
+        int level = emb.levels - 1;
+        for (int i = 0; i < emb.levels; ++i) {
+          if (emb.ancestors[static_cast<std::size_t>(u)]
+                           [static_cast<std::size_t>(i)] ==
+              emb.ancestors[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(i)]) {
+            level = i;
+            break;
+          }
+        }
+        Weight tree_dist = 0;
+        for (int i = 0; i <= level; ++i) {
+          tree_dist += 2 * static_cast<Weight>((emb.beta_scaled << i) / kBetaScale);
+        }
+        const double stretch =
+            static_cast<double>(tree_dist) / static_cast<double>(d);
+        sum += stretch;
+        worst = std::max(worst, stretch);
+        ++count;
+      }
+    }
+    sum_mean += sum / static_cast<double>(count);
+    for (const auto& list : emb.le_lists) {
+      max_list = std::max(max_list, static_cast<double>(list.size()));
+    }
+  }
+  state.counters["mean_stretch"] = sum_mean / static_cast<double>(seeds);
+  state.counters["max_stretch"] = worst;
+  state.counters["max_le_list"] = max_list;
+  state.counters["log2_n"] = std::log2(static_cast<double>(g.NumNodes()));
+}
+
+void BM_StretchRandomGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SplitMix64 rng(static_cast<std::uint64_t>(n));
+  const Graph g = MakeConnectedRandom(n, 8.0 / n, 1, 32, rng);
+  for (auto _ : state) MeasureStretch(state, g, 8);
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_StretchRandomGraph)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StretchGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  SplitMix64 rng(1);
+  const Graph g = MakeGrid(side, side, 1, 4, rng);
+  for (auto _ : state) MeasureStretch(state, g, 8);
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_StretchGrid)->Arg(5)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

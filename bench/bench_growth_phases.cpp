@@ -1,0 +1,49 @@
+// E4 — Algorithm 2 distributed (rounded radii, Corollary 4.21 flavor):
+// the ε-checkpoint mechanism bounds the number of growth phases by
+// O(log(WD)/ε) (Lemma F.1) and trades approximation for fewer/cheaper
+// phases. Measured per ε: checkpoints, merge phases, rounds, and weight
+// relative to the ε = 0 run.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_GrowthPhases(benchmark::State& state) {
+  const Real eps = static_cast<Real>(state.range(0)) / 100.0L;
+  SplitMix64 rng(31337);
+  const int n = 48;
+  const Graph g = MakeConnectedRandom(n, 0.08, 1, 64, rng);
+  SplitMix64 trng(5);
+  const IcInstance ic = bench::SpreadComponents(n, 4, trng);
+
+  const auto exact = RunDistributedMoat(g, ic, {}, 1);
+  for (auto _ : state) {
+    DetMoatOptions opt;
+    opt.epsilon = eps;
+    const auto res = RunDistributedMoat(g, ic, opt, 1);
+    state.counters["checkpoints"] = res.checkpoints;
+    state.counters["phases"] = res.phases;
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["weight_vs_exact"] =
+        static_cast<double>(g.WeightOf(res.forest)) /
+        static_cast<double>(g.WeightOf(exact.forest));
+    state.counters["paper_bound"] = 2.0 + static_cast<double>(eps);
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_GrowthPhases)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E8 / E9 — Lemmas 3.1 and 3.3 (lower bounds via Set Disjointness): on the
+// reduction gadgets, any correct algorithm must push Ω(m) bits across the
+// O(1)-edge Alice/Bob cut. We run our algorithms on the gadgets, verify that
+// their outputs answer Set Disjointness correctly in every trial, and record
+// the measured cut traffic — which indeed grows linearly in the universe
+// size m while the cut stays constant, i.e. Ω̃(t) resp. Ω̃(k) rounds.
+#include <benchmark/benchmark.h>
+
+#include "lowerbounds/disjointness.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_CrGadgetBits(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    long bits = 0;
+    long rounds = 0;
+    int correct = 0;
+    int trials = 0;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      SplitMix64 rng(seed * 17 + 1);
+      for (const bool disjoint : {true, false}) {
+        const auto sd = MakeSdInstance(m, disjoint, rng);
+        const auto out = RunCrGadgetWithDetAlgorithm(sd, m, seed + 1);
+        bits += out.cut_bits;
+        rounds += out.rounds;
+        correct += out.correct ? 1 : 0;
+        ++trials;
+      }
+    }
+    state.counters["mean_cut_bits"] = static_cast<double>(bits) / trials;
+    state.counters["bits_per_m"] =
+        static_cast<double>(bits) / trials / m;
+    state.counters["mean_rounds"] = static_cast<double>(rounds) / trials;
+    state.counters["correct_frac"] = static_cast<double>(correct) / trials;
+    state.counters["m"] = m;
+  }
+}
+BENCHMARK(BM_CrGadgetBits)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IcGadgetBitsDet(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    long bits = 0;
+    int correct = 0;
+    int trials = 0;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      SplitMix64 rng(seed * 23 + 5);
+      for (const bool disjoint : {true, false}) {
+        const auto sd = MakeSdInstance(m, disjoint, rng);
+        const auto out = RunIcGadgetWithDetAlgorithm(sd, m, seed + 1);
+        bits += out.cut_bits;
+        correct += out.correct ? 1 : 0;
+        ++trials;
+      }
+    }
+    state.counters["mean_cut_bits"] = static_cast<double>(bits) / trials;
+    state.counters["bits_per_m"] = static_cast<double>(bits) / trials / m;
+    state.counters["correct_frac"] = static_cast<double>(correct) / trials;
+  }
+}
+BENCHMARK(BM_IcGadgetBitsDet)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IcGadgetBitsRand(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    long bits = 0;
+    int correct = 0;
+    int trials = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      SplitMix64 rng(seed * 29 + 7);
+      for (const bool disjoint : {true, false}) {
+        const auto sd = MakeSdInstance(m, disjoint, rng);
+        const auto out = RunIcGadgetWithRandAlgorithm(sd, m, seed + 1);
+        bits += out.cut_bits;
+        correct += out.correct ? 1 : 0;
+        ++trials;
+      }
+    }
+    state.counters["mean_cut_bits"] = static_cast<double>(bits) / trials;
+    state.counters["correct_frac"] = static_cast<double>(correct) / trials;
+  }
+}
+BENCHMARK(BM_IcGadgetBitsRand)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E10 — special cases called out in "Main Techniques": with k = 1 the
+// deterministic algorithm outputs (the graph edges of) a terminal-metric
+// MST, a factor-2 Steiner tree; specializing further to t = n it returns an
+// exact MST. Measured: weight ratio to Kruskal (must be exactly 1 for
+// t = n), plus rounds.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+#include "steiner/exact.hpp"
+#include "steiner/mst.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_MstSpecialCase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 3 + 1);
+  const Graph g = MakeConnectedRandom(n, 8.0 / n, 1, 50, rng);
+  std::vector<std::pair<NodeId, Label>> assign;
+  for (NodeId v = 0; v < n; ++v) assign.push_back({v, 1});
+  const IcInstance ic = MakeIcInstance(n, assign);
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, ic, {}, 1);
+    const Weight mst = MstWeight(g);
+    state.counters["weight_over_mst"] =
+        static_cast<double>(g.WeightOf(res.forest)) /
+        static_cast<double>(mst);  // must be exactly 1.0
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_MstSpecialCase)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SteinerTreeSpecialCase(benchmark::State& state) {
+  // k = 1, few terminals: 2-approximate Steiner tree via the terminal MST.
+  const int n = 16;
+  for (auto _ : state) {
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      SplitMix64 rng(seed * 7 + 2);
+      const Graph g = MakeConnectedRandom(n, 0.25, 1, 20, rng);
+      const IcInstance ic =
+          MakeIcInstance(n, {{0, 1}, {5, 1}, {10, 1}, {15, 1}});
+      const auto res = RunDistributedMoat(g, ic, {}, seed + 1);
+      const std::vector<NodeId> terms{0, 5, 10, 15};
+      const Weight opt = ExactSteinerTreeWeight(g, terms);
+      worst = std::max(worst, static_cast<double>(g.WeightOf(res.forest)) /
+                                  static_cast<double>(opt));
+    }
+    state.counters["worst_ratio"] = worst;  // <= 2 (Steiner-tree factor 2)
+  }
+}
+BENCHMARK(BM_SteinerTreeSpecialCase)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

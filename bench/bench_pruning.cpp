@@ -1,0 +1,68 @@
+// E12 — pruning (Corollary F.10 / Algorithm 1 line 34): the minimal feasible
+// subforest extraction. In our pipeline the distributed selection stage
+// (E.1 steps 4-5, token routing over region trees) realizes the pruning; this
+// bench quantifies how much the merge log overshoots the minimal solution
+// (raw vs pruned weight) and the cost of the centralized reference pruner.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "steiner/moat.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/prune.hpp"
+#include "steiner/validate.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_PruneOvershoot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double sum_overshoot = 0.0;
+    int count = 0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      SplitMix64 rng(seed * 3 + 1);
+      const Graph g = MakeConnectedRandom(n, 8.0 / n, 1, 24, rng);
+      SplitMix64 trng(seed);
+      const IcInstance ic = bench::SpreadComponents(n, 4, trng);
+      const auto res = CentralizedMoatGrowing(g, ic);
+      const Weight raw = g.WeightOf(res.raw_forest);
+      const Weight pruned = g.WeightOf(res.forest);
+      sum_overshoot += static_cast<double>(raw) / static_cast<double>(pruned);
+      ++count;
+    }
+    state.counters["mean_raw_over_pruned"] = sum_overshoot / count;
+  }
+}
+BENCHMARK(BM_PruneOvershoot)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PruneFromSpanningTree(benchmark::State& state) {
+  // Worst-case style input: prune a full spanning tree down to the minimal
+  // feasible subforest (the F.3 routine's job); wall time is the metric.
+  const int n = static_cast<int>(state.range(0));
+  SplitMix64 rng(static_cast<std::uint64_t>(n));
+  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 30, rng);
+  SplitMix64 trng(3);
+  const IcInstance ic = bench::SpreadComponents(n, 6, trng);
+  const auto mst = KruskalMst(g);
+  for (auto _ : state) {
+    auto pruned = MinimalFeasibleSubforest(g, ic, mst);
+    benchmark::DoNotOptimize(pruned);
+    state.counters["pruned_edges"] = static_cast<double>(pruned.size());
+    state.counters["input_edges"] = static_cast<double>(mst.size());
+  }
+}
+BENCHMARK(BM_PruneFromSpanningTree)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

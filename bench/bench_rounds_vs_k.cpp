@@ -1,0 +1,116 @@
+// E3 — Theorem 4.17 (deterministic: O(sk + t) rounds) and Theorem 5.2
+// (randomized: Õ(k + min{s,√n} + D) rounds): round counts as the number of
+// input components k grows on a fixed graph.
+//
+// Expected shape: the deterministic series grows ~linearly in k (the sk
+// term); the randomized series grows only additively in k — the separation
+// the paper's Section 5 achieves over Section 4.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+
+namespace dsf {
+namespace {
+
+constexpr int kNodes = 96;
+
+Graph FixedGraph() {
+  SplitMix64 rng(2024);
+  return MakeConnectedRandom(kNodes, 0.05, 1, 32, rng);
+}
+
+// Segment-clustered components on a cycle: component c's two terminals sit in
+// the c-th arc, so components complete at separate radii and the k merge
+// phases (each O(s) rounds) actually materialize — the regime the sk term of
+// Theorem 4.17 describes. Mingled random placement instead collapses
+// everything into one moat after a few phases (also measured, below).
+IcInstance ClusteredOnCycle(int n, int k) {
+  std::vector<std::pair<NodeId, Label>> assign;
+  for (int c = 0; c < k; ++c) {
+    const int base = c * n / k;
+    const int span = std::max(2, n / (3 * k));
+    assign.push_back({static_cast<NodeId>(base), static_cast<Label>(c + 1)});
+    assign.push_back({static_cast<NodeId>((base + span) % n),
+                      static_cast<Label>(c + 1)});
+  }
+  return MakeIcInstance(n, assign);
+}
+
+void BM_DetRoundsVsKClustered(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  SplitMix64 rng(7);
+  const Graph g = MakeCycle(kNodes);
+  const IcInstance ic = ClusteredOnCycle(kNodes, k);
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["phases"] = res.phases;
+    state.counters["rounds_per_k"] =
+        static_cast<double>(res.stats.rounds) / k;
+    state.counters["k"] = k;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_DetRoundsVsKClustered)
+    ->DenseRange(1, 8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandRoundsVsKClustered(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Graph g = MakeCycle(kNodes);
+  const IcInstance ic = ClusteredOnCycle(kNodes, k);
+  for (auto _ : state) {
+    const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["charged"] = static_cast<double>(res.stats.charged_rounds);
+    state.counters["rounds_per_k"] =
+        static_cast<double>(res.stats.rounds) / k;
+    state.counters["k"] = k;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_RandRoundsVsKClustered)
+    ->DenseRange(1, 8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DetRoundsVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Graph g = FixedGraph();
+  SplitMix64 rng(7 * static_cast<std::uint64_t>(k) + 3);
+  const IcInstance ic = bench::SpreadComponents(kNodes, k, rng);
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["phases"] = res.phases;
+    state.counters["rounds_per_k"] =
+        static_cast<double>(res.stats.rounds) / k;
+    state.counters["k"] = k;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_DetRoundsVsK)->DenseRange(1, 10)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_RandRoundsVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Graph g = FixedGraph();
+  SplitMix64 rng(7 * static_cast<std::uint64_t>(k) + 3);
+  const IcInstance ic = bench::SpreadComponents(kNodes, k, rng);
+  for (auto _ : state) {
+    const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["rounds_per_k"] =
+        static_cast<double>(res.stats.rounds) / k;
+    state.counters["k"] = k;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_RandRoundsVsK)->DenseRange(1, 10)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

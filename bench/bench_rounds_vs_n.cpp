@@ -1,0 +1,64 @@
+// E5 (n-sweep) — scaling of both algorithms with the network size n at fixed
+// k, on sparse random graphs (where s and D grow slowly with n).
+//
+// Expected shape: rounds grow far slower than n for both algorithms; the
+// randomized algorithm tracks Õ(k + min{s,√n} + D), the deterministic one
+// Õ(sk + √(min{st,n})) — see EXPERIMENTS.md for the recorded series.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_DetRoundsVsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
+  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["rounds_per_n"] =
+        static_cast<double>(res.stats.rounds) / n;
+    state.counters["max_bits_edge_round"] =
+        static_cast<double>(res.stats.max_bits_per_edge_round);
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_DetRoundsVsN)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandRoundsVsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
+  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  for (auto _ : state) {
+    const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["le_rounds"] = static_cast<double>(res.le_rounds);
+    state.counters["rounds_per_n"] =
+        static_cast<double>(res.stats.rounds) / n;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_RandRoundsVsN)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

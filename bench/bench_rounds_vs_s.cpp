@@ -1,0 +1,80 @@
+// E3 (s-sweep) + Lemma 3.4 family — round complexity versus the
+// shortest-path diameter s, at (nearly) fixed k and D.
+//
+// Two workloads:
+//  * Subdivided random graphs: every edge split into `pieces` segments
+//    multiplies s while preserving the metric shape.
+//  * The Lemma 3.4 path gadget: t = 2, k = 1, D = O(1), s = path length —
+//    the regime where the Ω̃(min{s,√n}) lower bound bites. Both our
+//    algorithms must (and do) scale with s here; the randomized one caps the
+//    dependence at √n via truncation (counter `truncated`).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+#include "lowerbounds/gadgets.hpp"
+
+namespace dsf {
+namespace {
+
+void BM_DetRoundsVsS(benchmark::State& state) {
+  const int pieces = static_cast<int>(state.range(0));
+  SplitMix64 rng(99);
+  const Graph base = MakeConnectedRandom(24, 0.12, 1, 8, rng);
+  const Graph g = SubdivideEdges(base, pieces);
+  SplitMix64 trng(5);
+  // Terminals on original nodes (ids preserved by SubdivideEdges).
+  const IcInstance ic = bench::SpreadComponents(24, 3, trng);
+  IcInstance lifted;
+  lifted.labels.assign(static_cast<std::size_t>(g.NumNodes()), kNoLabel);
+  std::copy(ic.labels.begin(), ic.labels.end(), lifted.labels.begin());
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, lifted, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["phases"] = res.phases;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_DetRoundsVsS)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_RandRoundsVsS(benchmark::State& state) {
+  const int pieces = static_cast<int>(state.range(0));
+  SplitMix64 rng(99);
+  const Graph base = MakeConnectedRandom(24, 0.12, 1, 8, rng);
+  const Graph g = SubdivideEdges(base, pieces);
+  SplitMix64 trng(5);
+  const IcInstance ic = bench::SpreadComponents(24, 3, trng);
+  IcInstance lifted;
+  lifted.labels.assign(static_cast<std::size_t>(g.NumNodes()), kNoLabel);
+  std::copy(ic.labels.begin(), ic.labels.end(), lifted.labels.begin());
+  for (auto _ : state) {
+    const auto res = RunRandomizedSteinerForest(g, lifted, {}, 1);
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+    state.counters["charged"] = static_cast<double>(res.stats.charged_rounds);
+    state.counters["truncated"] = res.truncated ? 1 : 0;
+  }
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_RandRoundsVsS)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_PathGadget(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  const auto gadget = BuildPathGadget(len, 4);
+  for (auto _ : state) {
+    const auto det = RunDistributedMoat(gadget.graph, gadget.ic, {}, 1);
+    const auto rnd = RunRandomizedSteinerForest(gadget.graph, gadget.ic, {}, 1);
+    state.counters["det_rounds"] = static_cast<double>(det.stats.rounds);
+    state.counters["rand_rounds"] = static_cast<double>(rnd.stats.rounds);
+    state.counters["rand_charged"] =
+        static_cast<double>(rnd.stats.charged_rounds);
+    state.counters["rand_truncated"] = rnd.truncated ? 1 : 0;
+  }
+  bench::ReportGraphParams(state, gadget.graph);
+}
+BENCHMARK(BM_PathGadget)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Quickstart: build a small weighted network, declare two groups of terminals
+// (input components), and solve Distributed Steiner Forest with both of the
+// paper's algorithms — the deterministic (2+ε)-approximation of Section 4 and
+// the randomized O(log n)-approximation of Section 5 — on the CONGEST
+// simulator. Compares against the exact optimum.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "dist/det_moat.hpp"
+#include "graph/generators.hpp"
+#include "dist/randomized.hpp"
+#include "steiner/exact.hpp"
+#include "steiner/validate.hpp"
+
+int main() {
+  using namespace dsf;
+
+  // A 4x4 toy network with mixed edge weights:
+  //
+  //   0 - 1 - 2 - 3
+  //   |   |   |   |
+  //   4 - 5 - 6 - 7
+  //   |   |   |   |
+  //   8 - 9 -10 -11
+  //   |   |   |   |
+  //  12 -13 -14 -15
+  SplitMix64 rng(7);
+  const Graph g = MakeGrid(4, 4, 1, 5, rng);
+
+  // Two input components: {0, 15} must be connected, and so must {3, 12}.
+  const IcInstance instance = MakeIcInstance(16, {{0, 1}, {15, 1}, {3, 2}, {12, 2}});
+
+  std::printf("network: %s\n", g.Summary().c_str());
+  std::printf("components: k=%d, terminals: t=%d\n\n",
+              instance.NumComponents(), instance.NumTerminals());
+
+  // --- deterministic distributed moat growing (Theorem 4.17) ---
+  const auto det = RunDistributedMoat(g, instance);
+  std::printf("deterministic  : weight=%lld  rounds=%ld  phases=%d  feasible=%s\n",
+              static_cast<long long>(g.WeightOf(det.forest)), det.stats.rounds,
+              det.phases, IsFeasible(g, instance, det.forest) ? "yes" : "no");
+
+  // --- randomized tree-embedding algorithm (Theorem 5.2) ---
+  RandomizedOptions ropt;
+  ropt.repetitions = 3;
+  const auto rnd = RunRandomizedSteinerForest(g, instance, ropt, /*seed=*/1);
+  std::printf("randomized     : weight=%lld  rounds=%ld  feasible=%s\n",
+              static_cast<long long>(g.WeightOf(rnd.forest)), rnd.stats.rounds,
+              IsFeasible(g, instance, rnd.forest) ? "yes" : "no");
+
+  // --- ground truth ---
+  const Weight opt = ExactSteinerForestWeight(g, instance);
+  std::printf("exact optimum  : weight=%lld\n\n", static_cast<long long>(opt));
+
+  std::printf("selected edges (deterministic):");
+  for (const EdgeId e : det.forest) {
+    const auto& edge = g.GetEdge(e);
+    std::printf("  %d-%d(w%lld)", edge.u, edge.v, static_cast<long long>(edge.w));
+  }
+  std::printf("\n");
+  return 0;
+}

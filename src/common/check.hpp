@@ -1,0 +1,38 @@
+// Lightweight invariant checking that stays on in release builds.
+//
+// Distributed protocols are state machines with many subtle invariants; we
+// prefer loudly failing over silently diverging from the paper's semantics.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsf {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dsf
+
+#define DSF_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dsf::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define DSF_CHECK_MSG(expr, msg)                                \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      std::ostringstream dsf_check_os;                          \
+      dsf_check_os << msg;                                      \
+      ::dsf::CheckFailed(__FILE__, __LINE__, #expr,             \
+                         dsf_check_os.str());                   \
+    }                                                           \
+  } while (0)

@@ -1,0 +1,27 @@
+// Fundamental scalar types shared by every module.
+//
+// The paper works with a weighted graph G = (V, E, W), W : E -> N with weights
+// polynomially bounded in n; we use 64-bit integers for weights and derived
+// sums, and `Real` (x86-64 extended precision) for moat radii / event times,
+// which are dyadic rationals and hence exactly representable at the instance
+// sizes this library targets (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsf {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = std::int64_t;
+using Label = std::int32_t;  // input-component identifier; kNoLabel == "⊥"
+using Real = long double;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+inline constexpr Label kNoLabel = -1;
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::max() / 4;
+inline constexpr Real kInfReal = std::numeric_limits<Real>::max() / 4;
+
+}  // namespace dsf

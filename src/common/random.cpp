@@ -1,0 +1,23 @@
+#include "common/random.hpp"
+
+#include <vector>
+
+namespace dsf {
+
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index) noexcept {
+  SplitMix64 mix(master ^ (0x517cc1b727220a95ULL + index * 0x2545f4914f6cdd1dULL));
+  mix.Next();
+  return mix.Next();
+}
+
+std::vector<NodeId> RandomPermutation(int n, SplitMix64& rng) {
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace dsf

@@ -1,0 +1,56 @@
+// Seeded, reproducible randomness.
+//
+// The CONGEST model grants each node an unlimited supply of independent random
+// bits; we derive per-node streams from a master seed via SplitMix64 so that
+// every experiment is bit-reproducible (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace dsf {
+
+// SplitMix64: tiny, high-quality mixer; used both as a standalone generator
+// and to derive independent seeds for per-node engines.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for bound << 2^64 and irrelevant to correctness.
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() noexcept {  // uniform in [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Derives a deterministic per-entity seed from a master seed and an index.
+std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index) noexcept;
+
+// Generates a uniformly random permutation of {0, ..., n-1} (used for node
+// ranks in the randomized algorithm's virtual-tree embedding).
+std::vector<NodeId> RandomPermutation(int n, SplitMix64& rng);
+
+}  // namespace dsf

@@ -1,0 +1,6 @@
+#include "congest/message.hpp"
+
+// Message is header-only today; this translation unit pins the vtable-free
+// type into the library and provides a home for future codec helpers.
+
+namespace dsf {}  // namespace dsf

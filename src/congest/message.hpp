@@ -1,0 +1,59 @@
+// CONGEST messages.
+//
+// The CONGEST(log n) model allows each node to send, per round and per
+// incident edge, one message of O(log n) bits (Section 2 of the paper). We
+// model a message as a channel tag plus a short vector of signed integer
+// fields; `BitSize()` estimates the encoded width so the simulator can verify
+// and report per-edge per-round bandwidth use.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace dsf {
+
+// Channels multiplex independent sub-protocols over the same edges. The
+// simulator accounts all channels against the same physical bandwidth.
+enum Channel : std::int32_t {
+  kChBfs = 0,       // BFS-tree construction
+  kChQuiesce = 1,   // quiescence detector (aggregation over the BFS tree)
+  kChCtrl = 2,      // coordinator broadcasts (phase control, result lists)
+  kChLabel = 3,     // terminal/label convergecast
+  kChBellman = 4,   // region Bellman-Ford relaxations
+  kChExchange = 5,  // boundary-edge final value exchange
+  kChFilter = 6,    // pipelined candidate-merge filtering (Lemma 4.14)
+  kChToken = 7,     // output-edge token routing
+  kChApp = 8,       // first free channel for other protocols
+};
+
+struct Message {
+  std::int32_t channel = kChApp;
+  std::vector<std::int64_t> fields;
+
+  Message() = default;
+  Message(std::int32_t ch, std::initializer_list<std::int64_t> f)
+      : channel(ch), fields(f) {}
+
+  // Estimated encoded size: a few header bits for the channel plus a
+  // zigzag/varint-style cost per field.
+  [[nodiscard]] std::size_t BitSize() const noexcept {
+    std::size_t bits = 4;  // channel tag
+    for (const std::int64_t v : fields) {
+      const auto zz = static_cast<std::uint64_t>((v << 1) ^ (v >> 63));
+      bits += 1 + static_cast<std::size_t>(64 - std::countl_zero(zz | 1));
+    }
+    return bits;
+  }
+};
+
+// A message delivered to a node, annotated with where it came from.
+struct Delivery {
+  int from_local = -1;    // index into the node's incidence list
+  NodeId from_node = kNoNode;
+  Message msg;
+};
+
+}  // namespace dsf

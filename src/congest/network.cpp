@@ -1,0 +1,193 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+namespace dsf {
+
+NodeApi::NodeApi(Network& net, NodeId id) : net_(net), id_(id) {}
+
+int NodeApi::Degree() const noexcept {
+  return net_.graph_.Degree(id_);
+}
+
+NodeId NodeApi::NeighborId(int local) const {
+  const auto nb = net_.graph_.Neighbors(id_);
+  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
+  return nb[static_cast<std::size_t>(local)].neighbor;
+}
+
+Weight NodeApi::EdgeWeight(int local) const {
+  const auto nb = net_.graph_.Neighbors(id_);
+  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
+  return net_.graph_.GetEdge(nb[static_cast<std::size_t>(local)].edge).w;
+}
+
+EdgeId NodeApi::GlobalEdgeId(int local) const {
+  const auto nb = net_.graph_.Neighbors(id_);
+  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
+  return nb[static_cast<std::size_t>(local)].edge;
+}
+
+const StaticKnowledge& NodeApi::Known() const noexcept { return net_.known_; }
+
+long NodeApi::Round() const noexcept { return net_.round_; }
+
+SplitMix64& NodeApi::Rng() noexcept {
+  return *net_.nodes_[static_cast<std::size_t>(id_)].rng;
+}
+
+std::span<const Delivery> NodeApi::Inbox() const noexcept {
+  return net_.nodes_[static_cast<std::size_t>(id_)].inbox;
+}
+
+void NodeApi::Send(int local, Message msg) {
+  DSF_CHECK(local >= 0 && local < Degree());
+  auto& st = net_.nodes_[static_cast<std::size_t>(id_)];
+  // BFS-tree setup, the detector itself, and control broadcasts are
+  // coordination scaffolding; "application activity" (what quiescence
+  // detection watches) is everything else.
+  if (msg.channel != kChQuiesce && msg.channel != kChBfs &&
+      msg.channel != kChCtrl) {
+    st.last_app_activity = net_.round_;
+  }
+  st.outbox.emplace_back(local, std::move(msg));
+}
+
+void NodeApi::MarkEdge(int local) {
+  const EdgeId e = GlobalEdgeId(local);
+  net_.marked_[static_cast<std::size_t>(e)] = true;
+}
+
+void NodeApi::UnmarkEdge(int local) {
+  const EdgeId e = GlobalEdgeId(local);
+  net_.marked_[static_cast<std::size_t>(e)] = false;
+}
+
+long NodeApi::LastAppActivity() const noexcept {
+  return net_.nodes_[static_cast<std::size_t>(id_)].last_app_activity;
+}
+
+Network::Network(const Graph& g, StaticKnowledge known, std::uint64_t seed)
+    : graph_(g), known_(known), seed_(seed) {
+  DSF_CHECK(g.Finalized());
+  if (known_.n == 0) known_.n = g.NumNodes();
+  if (known_.bandwidth_bits == 0) {
+    // Default bandwidth: c * ceil(log2 n) with a small constant, min 64 bits,
+    // matching CONGEST(log n) up to the constant hidden in O(log n).
+    int log_n = 1;
+    while ((1 << log_n) < known_.n) ++log_n;
+    known_.bandwidth_bits = std::max<std::int64_t>(64, 8L * log_n);
+  }
+  nodes_.resize(static_cast<std::size_t>(g.NumNodes()));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    nodes_[static_cast<std::size_t>(v)].rng = std::make_unique<SplitMix64>(
+        DeriveSeed(seed_, static_cast<std::uint64_t>(v)));
+  }
+  in_cut_.assign(static_cast<std::size_t>(g.NumEdges()), false);
+  marked_.assign(static_cast<std::size_t>(g.NumEdges()), false);
+}
+
+void Network::Start(const ProgramFactory& factory) {
+  programs_.clear();
+  programs_.reserve(static_cast<std::size_t>(graph_.NumNodes()));
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    programs_.push_back(factory(v));
+    DSF_CHECK(programs_.back() != nullptr);
+  }
+}
+
+void Network::RegisterCut(std::span<const EdgeId> cut_edges) {
+  for (const EdgeId e : cut_edges) {
+    DSF_CHECK(e >= 0 && e < graph_.NumEdges());
+    in_cut_[static_cast<std::size_t>(e)] = true;
+  }
+}
+
+bool Network::Step() {
+  DSF_CHECK_MSG(!programs_.empty(), "Start() must be called before Step()");
+
+  // (i) + (ii): local computation and sends.
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    NodeApi api(*this, v);
+    programs_[static_cast<std::size_t>(v)]->OnRound(api);
+  }
+
+  // (iii): deliver. Also account bandwidth per directed edge use.
+  // Per-edge-per-round bits, indexed by (edge, direction).
+  std::vector<long> edge_bits(static_cast<std::size_t>(graph_.NumEdges()) * 2, 0);
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    auto& st = nodes_[static_cast<std::size_t>(v)];
+    st.inbox.clear();
+  }
+  long delivered = 0;
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    auto& st = nodes_[static_cast<std::size_t>(v)];
+    if (st.outbox.empty()) continue;
+    const auto nb = graph_.Neighbors(v);
+    for (auto& [local, msg] : st.outbox) {
+      const auto& inc = nb[static_cast<std::size_t>(local)];
+      const auto bits = static_cast<long>(msg.BitSize());
+      const auto& e = graph_.GetEdge(inc.edge);
+      const std::size_t dir_idx =
+          static_cast<std::size_t>(inc.edge) * 2 + (v == e.u ? 0 : 1);
+      edge_bits[dir_idx] += bits;
+      stats_.total_bits += bits;
+      ++stats_.messages;
+      if (in_cut_[static_cast<std::size_t>(inc.edge)]) {
+        stats_.cut_bits += bits;
+        ++stats_.cut_messages;
+      }
+      auto& dst = nodes_[static_cast<std::size_t>(inc.neighbor)];
+      // Receiving application traffic counts as activity in the round the
+      // message is processed (the next one).
+      if (msg.channel != kChQuiesce && msg.channel != kChBfs &&
+          msg.channel != kChCtrl) {
+        dst.last_app_activity = round_ + 1;
+      }
+      // Locate the reverse local index lazily: receiver's incidence entry
+      // with this edge id.
+      int from_local = -1;
+      const auto rnb = graph_.Neighbors(inc.neighbor);
+      for (int i = 0; i < static_cast<int>(rnb.size()); ++i) {
+        if (rnb[static_cast<std::size_t>(i)].edge == inc.edge) {
+          from_local = i;
+          break;
+        }
+      }
+      dst.inbox.push_back(Delivery{from_local, v, std::move(msg)});
+      ++delivered;
+    }
+    st.outbox.clear();
+  }
+  for (const long b : edge_bits) {
+    stats_.max_bits_per_edge_round = std::max(stats_.max_bits_per_edge_round, b);
+  }
+  in_flight_ = delivered;
+  ++round_;
+  stats_.rounds = round_;
+
+  // Finished?
+  if (in_flight_ > 0) return true;
+  for (const auto& p : programs_) {
+    if (!p->Done()) return true;
+  }
+  return false;
+}
+
+RunStats Network::Run(long max_rounds) {
+  while (round_ < max_rounds) {
+    if (!Step()) return stats_;
+  }
+  stats_.hit_round_limit = true;
+  return stats_;
+}
+
+std::vector<EdgeId> Network::MarkedEdges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+    if (marked_[static_cast<std::size_t>(e)]) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dsf

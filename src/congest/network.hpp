@@ -1,0 +1,150 @@
+// Synchronous CONGEST network simulator.
+//
+// Faithful to Section 2 of the paper: computation proceeds in synchronous
+// rounds; per round every node (i) performs arbitrary local computation,
+// (ii) sends at most one bounded-size message per incident edge and channel,
+// and (iii) receives what its neighbors sent this round (delivered at the
+// start of the next round). The simulator meters bits per edge per round so
+// experiments can verify the O(log n) bandwidth discipline, and can meter a
+// registered edge cut (used by the Set-Disjointness lower-bound harness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+class Network;
+
+// Globally known quantities every node may use. The paper grants n; s and D
+// bounds are justified by footnote 2 (they are computable in O(D + min{s,√n})
+// rounds, which is below all our algorithms' budgets).
+struct StaticKnowledge {
+  int n = 0;
+  int diameter_bound = 0;        // D
+  int spd_bound = 0;             // s (shortest-path diameter)
+  std::int64_t bandwidth_bits = 0;  // per edge per round, O(log n)
+};
+
+// Per-node view handed to programs each round. Local: the node knows its id,
+// its incident edges (neighbor ids + weights), and nothing else about G.
+class NodeApi {
+ public:
+  NodeApi(Network& net, NodeId id);
+
+  [[nodiscard]] NodeId Id() const noexcept { return id_; }
+  [[nodiscard]] int Degree() const noexcept;
+  [[nodiscard]] NodeId NeighborId(int local) const;
+  [[nodiscard]] Weight EdgeWeight(int local) const;
+  [[nodiscard]] EdgeId GlobalEdgeId(int local) const;
+  [[nodiscard]] const StaticKnowledge& Known() const noexcept;
+  [[nodiscard]] long Round() const noexcept;
+  [[nodiscard]] SplitMix64& Rng() noexcept;
+
+  // Messages received this round (sent by neighbors last round).
+  [[nodiscard]] std::span<const Delivery> Inbox() const noexcept;
+
+  // Queues a message on the incident edge `local` for delivery next round.
+  void Send(int local, Message msg);
+
+  // Declares the incident edge part of the algorithm's output F. Idempotent.
+  void MarkEdge(int local);
+  void UnmarkEdge(int local);
+
+  // Round index of this node's most recent send or receive on channels other
+  // than kChQuiesce/kChBfs (used by the quiescence detector), or -1.
+  [[nodiscard]] long LastAppActivity() const noexcept;
+
+ private:
+  friend class Network;
+  Network& net_;
+  NodeId id_;
+};
+
+// Per-node behavior: a state machine invoked once per round.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  // Called every round, including round 0 (empty inbox).
+  virtual void OnRound(NodeApi& api) = 0;
+  // When every program reports done and no messages are in flight, the run ends.
+  [[nodiscard]] virtual bool Done() const = 0;
+};
+
+struct RunStats {
+  long rounds = 0;
+  long messages = 0;
+  long total_bits = 0;
+  long max_bits_per_edge_round = 0;
+  long cut_bits = 0;        // bits across the registered cut
+  long cut_messages = 0;
+  long charged_rounds = 0;  // extra rounds charged for substituted subroutines
+  bool hit_round_limit = false;
+};
+
+class Network {
+ public:
+  using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
+
+  Network(const Graph& g, StaticKnowledge known, std::uint64_t seed);
+
+  // Instantiates one program per node.
+  void Start(const ProgramFactory& factory);
+
+  // Registers edges whose traffic is metered separately (lower-bound harness).
+  void RegisterCut(std::span<const EdgeId> cut_edges);
+
+  // Runs until all programs are Done() and no messages are in flight, or the
+  // round limit is hit (then stats.hit_round_limit is set).
+  RunStats Run(long max_rounds);
+
+  // Executes exactly one round; returns false when the run has finished.
+  bool Step();
+
+  // Adds rounds "charged" (not simulated) for substituted subroutines.
+  void ChargeRounds(long rounds) { stats_.charged_rounds += rounds; }
+
+  [[nodiscard]] const Graph& GraphRef() const noexcept { return graph_; }
+  [[nodiscard]] const StaticKnowledge& Known() const noexcept { return known_; }
+  [[nodiscard]] const RunStats& Stats() const noexcept { return stats_; }
+  [[nodiscard]] long Round() const noexcept { return round_; }
+
+  // The distributed output: union of all marked incident edges.
+  [[nodiscard]] std::vector<EdgeId> MarkedEdges() const;
+
+  // Test hook: access a node's program (for inspecting final local state).
+  [[nodiscard]] NodeProgram& ProgramAt(NodeId v) {
+    return *programs_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  friend class NodeApi;
+
+  struct NodeState {
+    std::vector<Delivery> inbox;
+    std::vector<std::pair<int, Message>> outbox;  // (local edge idx, msg)
+    std::unique_ptr<SplitMix64> rng;
+    long last_app_activity = -1;
+  };
+
+  const Graph& graph_;
+  StaticKnowledge known_;
+  std::uint64_t seed_;
+  long round_ = 0;
+  RunStats stats_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<NodeState> nodes_;
+  std::vector<bool> in_cut_;
+  std::vector<bool> marked_;
+  long in_flight_ = 0;
+};
+
+}  // namespace dsf

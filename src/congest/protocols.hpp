@@ -1,0 +1,181 @@
+// Reusable CONGEST protocol building blocks.
+//
+// Every nontrivial algorithm in the paper is structured around a rooted BFS
+// tree used for coordination: pipelined convergecasts (Lemma 2.3/2.4, the
+// candidate filtering of Lemma 4.14), pipelined broadcasts, and termination /
+// phase-boundary detection. `TreeProgramBase` packages these:
+//
+//   * rounds [0, D+2): distributed BFS-tree construction from the node with
+//     the largest identifier (as in the proof of Lemma 2.3),
+//   * a continuous quiescence detector: every node aggregates, over the BFS
+//     tree, the latest round in which any node in its subtree sent or
+//     received application traffic; the root therefore learns global
+//     quiescence within D + O(1) rounds of it occurring,
+//   * an ordered control broadcast: the root queues messages that are
+//     pipelined down the tree (one per round per tree edge) and delivered to
+//     every node in FIFO order via OnCtrl(),
+//   * a pipelined collection helper (`CollectPipeline`) with subtree-done
+//     markers, used to gather items at the root in O(D + #items) rounds.
+//
+// Derived programs implement OnTreeReady / OnAppRound / OnCtrl.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace dsf {
+
+// Control message opcodes (first field of a kChCtrl message).
+enum CtrlOp : std::int64_t {
+  kCtrlFinish = -1,  // global termination; forwarded, then node completes
+};
+
+class TreeProgramBase : public NodeProgram {
+ public:
+  explicit TreeProgramBase(NodeId id) : id_(id) {}
+
+  void OnRound(NodeApi& api) final;
+  [[nodiscard]] bool Done() const final { return done_; }
+
+  // --- tree accessors (valid once TreeReady) ---
+  [[nodiscard]] bool IsRoot() const noexcept { return is_root_; }
+  [[nodiscard]] bool TreeReady() const noexcept { return tree_ready_; }
+  [[nodiscard]] int ParentLocal() const noexcept { return parent_local_; }
+  [[nodiscard]] int TreeDepth() const noexcept { return depth_; }
+  [[nodiscard]] const std::vector<int>& ChildLocals() const noexcept {
+    return child_locals_;
+  }
+  [[nodiscard]] NodeId Id() const noexcept { return id_; }
+
+ protected:
+  // Called exactly once, the round the BFS tree is known everywhere.
+  virtual void OnTreeReady(NodeApi& api) { (void)api; }
+  // Called every round after the tree is ready (before control/detector
+  // bookkeeping for this round is flushed).
+  virtual void OnAppRound(NodeApi& api) { (void)api; }
+  // Ordered delivery of control messages (root's broadcasts), incl. at root.
+  virtual void OnCtrl(NodeApi& api, const Message& msg) {
+    (void)api;
+    (void)msg;
+  }
+
+  // Root only: queue a control message for pipelined broadcast to all nodes
+  // (delivered locally too, in order).
+  void BroadcastCtrl(Message msg);
+
+  // Root only: initiate global termination.
+  void Finish();
+
+  // Root only: the latest application-activity round reported from anywhere
+  // in the network (lags reality by at most the tree depth).
+  [[nodiscard]] long GlobalLastActivity() const noexcept {
+    return subtree_last_activity_;
+  }
+
+  // Root helper: true when, as far as the root can tell, no application
+  // traffic has happened after `since` and enough slack has passed for any
+  // such traffic to have been reported (D + 2 rounds).
+  [[nodiscard]] bool GloballyQuietSince(const NodeApi& api, long since) const {
+    return subtree_last_activity_ <= since &&
+           api.Round() > since + api.Known().diameter_bound + 2;
+  }
+
+  void SendParent(NodeApi& api, Message msg) {
+    DSF_CHECK(parent_local_ >= 0);
+    api.Send(parent_local_, std::move(msg));
+  }
+
+  // Number of control messages queued locally but not yet forwarded. The
+  // root uses this to bound when a broadcast has reached every node:
+  // enqueue_round + backlog + tree_depth + slack.
+  [[nodiscard]] std::size_t CtrlBacklog() const noexcept {
+    return ctrl_queue_.size();
+  }
+
+ private:
+  void HandleBfs(NodeApi& api);
+  void HandleDetector(NodeApi& api);
+  void HandleCtrl(NodeApi& api);
+
+  NodeId id_;
+  bool is_root_ = false;
+  bool tree_ready_ = false;
+  bool announced_ = false;
+  bool done_ = false;
+  bool finish_seen_ = false;
+  int parent_local_ = -1;
+  int depth_ = -1;
+  std::vector<int> child_locals_;
+
+  // Quiescence detector state.
+  long subtree_last_activity_ = -1;  // max over own + cached child reports
+  std::vector<long> child_last_activity_;
+  long reported_last_activity_ = -2;  // last value sent to parent
+
+  // Control broadcast state: FIFO of messages to forward to children.
+  std::deque<Message> ctrl_queue_;
+};
+
+// Pipelined convergecast of items toward the BFS root with subtree-completion
+// markers. Each payload is forwarded verbatim; a DONE marker (empty payload,
+// first field = sentinel) is sent once the node's own items are flushed and
+// every child reported DONE. The owner decides what the payloads mean.
+class CollectPipeline {
+ public:
+  // `channel`: the CONGEST channel used; payload first field must not equal
+  // the sentinel kDoneSentinel.
+  static constexpr std::int64_t kDoneSentinel = -(1LL << 62);
+
+  void Configure(int channel, int num_children) {
+    channel_ = channel;
+    children_pending_ = num_children;
+  }
+
+  // Adds an item originating at this node.
+  void Seed(std::vector<std::int64_t> payload) {
+    queue_.emplace_back(std::move(payload));
+  }
+  // Declares that this node will seed no further items.
+  void MarkOwnDone() { own_done_ = true; }
+
+  // Feeds a received message (must be on this pipeline's channel). Payloads
+  // are appended to `received` when collect_at_this_node is set (at the root)
+  // and otherwise queued for forwarding.
+  void OnReceive(const Message& msg, bool collect_at_this_node,
+                 std::vector<std::vector<std::int64_t>>* received);
+
+  // Sends at most one payload (or the DONE marker) to the parent this round.
+  // At the root (parent_local < 0) drains local seeds into `root_collect`.
+  void Tick(NodeApi& api, int parent_local,
+            std::vector<std::vector<std::int64_t>>* root_collect = nullptr);
+
+  [[nodiscard]] bool Complete() const noexcept {
+    return own_done_ && children_pending_ == 0 && queue_.empty();
+  }
+  [[nodiscard]] bool DoneSent() const noexcept { return done_sent_; }
+
+ private:
+  int channel_ = kChApp;
+  std::deque<std::vector<std::int64_t>> queue_;
+  bool own_done_ = false;
+  bool done_sent_ = false;
+  int children_pending_ = 0;
+};
+
+// Distributed BFS-tree sanity program used by tests: builds the tree, then
+// reports depth/parent through its public state.
+class BfsProbeProgram : public TreeProgramBase {
+ public:
+  explicit BfsProbeProgram(NodeId id) : TreeProgramBase(id) {}
+
+  int observed_depth = -1;
+  NodeId observed_parent = kNoNode;
+
+ protected:
+  void OnTreeReady(NodeApi& api) override;
+};
+
+}  // namespace dsf

@@ -1,0 +1,226 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/shortest_paths.hpp"
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+namespace {
+
+Weight RandomWeight(Weight min_w, Weight max_w, SplitMix64& rng) {
+  DSF_CHECK(min_w >= 1 && max_w >= min_w);
+  return rng.NextInt(min_w, max_w);
+}
+
+}  // namespace
+
+Graph MakePath(int n, Weight w) {
+  DSF_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1, w);
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCycle(int n, Weight w) {
+  DSF_CHECK(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1, w);
+  g.AddEdge(n - 1, 0, w);
+  g.Finalize();
+  return g;
+}
+
+Graph MakeStar(int n, Weight w) {
+  DSF_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.AddEdge(0, v, w);
+  g.Finalize();
+  return g;
+}
+
+Graph MakeGrid(int rows, int cols, Weight min_w, Weight max_w, SplitMix64& rng) {
+  DSF_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.AddEdge(id(r, c), id(r, c + 1), RandomWeight(min_w, max_w, rng));
+      }
+      if (r + 1 < rows) {
+        g.AddEdge(id(r, c), id(r + 1, c), RandomWeight(min_w, max_w, rng));
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeComplete(int n, Weight min_w, Weight max_w, SplitMix64& rng) {
+  DSF_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.AddEdge(u, v, RandomWeight(min_w, max_w, rng));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeConnectedRandom(int n, double p, Weight min_w, Weight max_w,
+                          SplitMix64& rng) {
+  DSF_CHECK(n >= 1);
+  Graph g(n);
+  std::vector<std::vector<bool>> present;
+  // For small n track adjacency to avoid parallel edges; for large n the
+  // spanning-tree pass uses a random parent < v so duplicates with the ER
+  // pass must still be suppressed.
+  present.assign(static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+
+  const auto add = [&](NodeId u, NodeId v) {
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    auto& row = present[static_cast<std::size_t>(u)];
+    if (row[static_cast<std::size_t>(v)]) return;
+    row[static_cast<std::size_t>(v)] = true;
+    g.AddEdge(u, v, RandomWeight(min_w, max_w, rng));
+  };
+
+  // Random spanning tree: v attaches to a uniformly random earlier node.
+  const auto perm = RandomPermutation(n, rng);
+  for (int i = 1; i < n; ++i) {
+    const auto j = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(i)));
+    add(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  // ER edges.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < p) add(u, v);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeRandomGeometric(int n, double radius, Weight scale, SplitMix64& rng) {
+  DSF_CHECK(n >= 1);
+  DSF_CHECK(scale >= 1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.NextDouble();
+    y[static_cast<std::size_t>(i)] = rng.NextDouble();
+  }
+  const auto dist = [&](int a, int b) {
+    const double dx = x[static_cast<std::size_t>(a)] - x[static_cast<std::size_t>(b)];
+    const double dy = y[static_cast<std::size_t>(a)] - y[static_cast<std::size_t>(b)];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto to_weight = [&](double d) {
+    return std::max<Weight>(1, static_cast<Weight>(std::llround(d * static_cast<double>(scale))));
+  };
+
+  Graph g(n);
+  std::vector<std::vector<bool>> present(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+  UnionFind uf(n);
+  const auto add = [&](NodeId u, NodeId v, Weight w) {
+    if (u > v) std::swap(u, v);
+    auto& row = present[static_cast<std::size_t>(u)];
+    if (row[static_cast<std::size_t>(v)]) return;
+    row[static_cast<std::size_t>(v)] = true;
+    g.AddEdge(u, v, w);
+    uf.Union(u, v);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d = dist(u, v);
+      if (d <= radius) add(u, v, to_weight(d));
+    }
+  }
+  // Stitch components along a random permutation so the graph is connected.
+  const auto perm = RandomPermutation(n, rng);
+  for (int i = 1; i < n; ++i) {
+    const NodeId a = perm[static_cast<std::size_t>(i - 1)];
+    const NodeId b = perm[static_cast<std::size_t>(i)];
+    if (!uf.Connected(a, b)) add(a, b, to_weight(dist(a, b)));
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeTreePlusChords(int n, int extra_chords, Weight w, Weight chord_w,
+                         SplitMix64& rng) {
+  DSF_CHECK(n >= 1);
+  Graph g(n);
+  std::vector<std::vector<bool>> present(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+  const auto add = [&](NodeId u, NodeId v, Weight ww) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    auto& row = present[static_cast<std::size_t>(u)];
+    if (row[static_cast<std::size_t>(v)]) return false;
+    row[static_cast<std::size_t>(v)] = true;
+    g.AddEdge(u, v, ww);
+    return true;
+  };
+  for (NodeId v = 1; v < n; ++v) add(v, (v - 1) / 2, w);
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_chords && attempts < 50 * extra_chords + 100) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+    if (add(u, v, chord_w)) ++added;
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph MakeCaterpillar(int spine, int legs, Weight spine_w, Weight leg_w) {
+  DSF_CHECK(spine >= 1 && legs >= 0);
+  const int n = spine * (1 + legs);
+  Graph g(n);
+  for (int i = 0; i + 1 < spine; ++i) g.AddEdge(i, i + 1, spine_w);
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) g.AddEdge(i, next++, leg_w);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph SubdivideEdges(const Graph& g, int pieces) {
+  DSF_CHECK(pieces >= 1);
+  if (pieces == 1) {
+    Graph copy(g.NumNodes());
+    for (const auto& e : g.Edges()) copy.AddEdge(e.u, e.v, e.w);
+    copy.Finalize();
+    return copy;
+  }
+  // Each weight-w edge becomes `pieces` segments of weight w (total w*pieces);
+  // all distances scale by exactly `pieces`, so the metric structure — and the
+  // optimal forest, up to the subdivision mapping — is preserved while s grows
+  // by a factor of `pieces`.
+  const int extra_per_edge = pieces - 1;
+  Graph out(g.NumNodes() + g.NumEdges() * extra_per_edge);
+  NodeId next = g.NumNodes();
+  for (const auto& e : g.Edges()) {
+    NodeId prev = e.u;
+    for (int i = 0; i < extra_per_edge; ++i) {
+      out.AddEdge(prev, next, e.w);
+      prev = next++;
+    }
+    out.AddEdge(prev, e.v, e.w);
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace dsf

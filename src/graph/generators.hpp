@@ -1,0 +1,62 @@
+// Workload graph generators.
+//
+// These produce the topology families the benchmarks sweep over. Each family
+// controls a different parameter of the paper's bounds:
+//   * paths / subdivided graphs    — drive the shortest-path diameter s,
+//   * stars / low-diameter graphs  — keep D and s tiny while k or t grows,
+//   * grids / random geometric     — "railroad design"-style planar metrics,
+//   * Erdős–Rényi + spanning tree  — generic connected weighted networks.
+// All generators are deterministic given the seed and never produce parallel
+// edges or self-loops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+// Path 0-1-...-(n-1); weight of every edge = `w`.
+Graph MakePath(int n, Weight w = 1);
+
+// Cycle on n >= 3 nodes.
+Graph MakeCycle(int n, Weight w = 1);
+
+// Star: center 0, leaves 1..n-1.
+Graph MakeStar(int n, Weight w = 1);
+
+// rows x cols grid; node (r, c) has id r*cols + c. Weights uniform in
+// [min_w, max_w] drawn from `rng` (use min_w == max_w for unit grids).
+Graph MakeGrid(int rows, int cols, Weight min_w, Weight max_w, SplitMix64& rng);
+
+// Complete graph K_n with weights uniform in [min_w, max_w].
+Graph MakeComplete(int n, Weight min_w, Weight max_w, SplitMix64& rng);
+
+// Connected Erdős–Rényi G(n, p): a random spanning tree is added first so the
+// result is always connected; extra edges appear independently with
+// probability p. Weights uniform in [min_w, max_w].
+Graph MakeConnectedRandom(int n, double p, Weight min_w, Weight max_w,
+                          SplitMix64& rng);
+
+// Random geometric graph: n points in the unit square, edges between pairs at
+// Euclidean distance <= radius, weights = rounded scaled distance (>= 1).
+// A spanning tree over a random permutation is added if disconnected.
+Graph MakeRandomGeometric(int n, double radius, Weight scale, SplitMix64& rng);
+
+// Balanced binary tree on n nodes (heap indexing), weight w per edge, plus
+// `extra_chords` random non-tree edges with weight chord_w.
+Graph MakeTreePlusChords(int n, int extra_chords, Weight w, Weight chord_w,
+                         SplitMix64& rng);
+
+// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+// Spine edges weigh spine_w, leg edges weigh leg_w.
+Graph MakeCaterpillar(int spine, int legs, Weight spine_w, Weight leg_w);
+
+// Subdivides every edge of `g` into `pieces` unit-ish segments, multiplying
+// the shortest-path diameter s while preserving the metric (each weight-w
+// edge becomes `pieces` edges whose weights sum to w * pieces ... scaled by
+// `pieces`, so all distances scale uniformly). Used for s-sweeps.
+Graph SubdivideEdges(const Graph& g, int pieces);
+
+}  // namespace dsf

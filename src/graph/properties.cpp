@@ -1,0 +1,70 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.hpp"
+
+namespace dsf {
+
+GraphParameters ComputeParameters(const Graph& g) {
+  GraphParameters p;
+  p.connected = IsConnected(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const auto bfs = Bfs(g, v);
+    const auto sp = Dijkstra(g, v);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (bfs.depth[ui] >= 0) {
+        p.unweighted_diameter = std::max(p.unweighted_diameter, bfs.depth[ui]);
+      }
+      if (sp.Reachable(u)) {
+        p.weighted_diameter = std::max(p.weighted_diameter, sp.dist[ui]);
+        p.shortest_path_diameter =
+            std::max(p.shortest_path_diameter, sp.hops[ui]);
+      }
+    }
+  }
+  return p;
+}
+
+int UnweightedDiameter(const Graph& g) {
+  int d = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const auto bfs = Bfs(g, v);
+    for (const int depth : bfs.depth) d = std::max(d, depth);
+  }
+  return d;
+}
+
+int ShortestPathDiameter(const Graph& g) {
+  int s = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const auto sp = Dijkstra(g, v);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      if (sp.Reachable(u)) {
+        s = std::max(s, sp.hops[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  return s;
+}
+
+Weight WeightedDiameter(const Graph& g) {
+  Weight wd = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const auto sp = Dijkstra(g, v);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      if (sp.Reachable(u)) {
+        wd = std::max(wd, sp.dist[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+  return wd;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumNodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+}  // namespace dsf

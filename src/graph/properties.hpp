@@ -1,0 +1,35 @@
+// Graph parameters used throughout the paper's statements (Section 2):
+//   D  — unweighted (hop) diameter,
+//   WD — weighted diameter: max over pairs of weighted distance,
+//   s  — shortest-path diameter: max over pairs of the minimum hop count of a
+//        least-weight path between them (the time Bellman-Ford needs).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+struct GraphParameters {
+  int unweighted_diameter = 0;   // D
+  Weight weighted_diameter = 0;  // WD
+  int shortest_path_diameter = 0;  // s
+  bool connected = true;
+};
+
+// Exact computation by n BFS + n lexicographic Dijkstras. Intended for the
+// instance sizes of tests/benches (n up to a few thousand).
+GraphParameters ComputeParameters(const Graph& g);
+
+// D only (n BFS traversals).
+int UnweightedDiameter(const Graph& g);
+
+// s only (n Dijkstras with (dist, hops) keys).
+int ShortestPathDiameter(const Graph& g);
+
+// WD only.
+Weight WeightedDiameter(const Graph& g);
+
+// True if g is connected.
+bool IsConnected(const Graph& g);
+
+}  // namespace dsf

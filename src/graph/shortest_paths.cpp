@@ -1,0 +1,203 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+namespace {
+
+// Priority-queue entry: (dist, hops, node). Smaller dist first, then fewer
+// hops, then smaller node id — deterministic tie-breaking matters because the
+// centralized moat algorithm's output is compared against the distributed one.
+struct QueueEntry {
+  Weight dist;
+  int hops;
+  NodeId node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    return std::tie(a.dist, a.hops, a.node) > std::tie(b.dist, b.hops, b.node);
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> ShortestPathTree::PathTo(NodeId v) const {
+  DSF_CHECK(Reachable(v));
+  std::vector<EdgeId> path;
+  while (v != source) {
+    const EdgeId pe = parent_edge[static_cast<std::size_t>(v)];
+    DSF_CHECK(pe != kNoEdge);
+    path.push_back(pe);
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree Dijkstra(const Graph& g, NodeId source) {
+  const auto n = static_cast<std::size_t>(g.NumNodes());
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(n, kInfWeight);
+  t.parent.assign(n, kNoNode);
+  t.parent_edge.assign(n, kNoEdge);
+  t.hops.assign(n, -1);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  t.dist[static_cast<std::size_t>(source)] = 0;
+  t.hops[static_cast<std::size_t>(source)] = 0;
+  pq.push({0, 0, source});
+  while (!pq.empty()) {
+    const auto [d, h, u] = pq.top();
+    pq.pop();
+    if (d != t.dist[static_cast<std::size_t>(u)] ||
+        h != t.hops[static_cast<std::size_t>(u)]) {
+      continue;
+    }
+    for (const auto& inc : g.Neighbors(u)) {
+      const Weight nd = d + g.GetEdge(inc.edge).w;
+      const int nh = h + 1;
+      auto& dv = t.dist[static_cast<std::size_t>(inc.neighbor)];
+      auto& hv = t.hops[static_cast<std::size_t>(inc.neighbor)];
+      const bool better =
+          nd < dv || (nd == dv && nh < hv) ||
+          (nd == dv && nh == hv &&
+           u < t.parent[static_cast<std::size_t>(inc.neighbor)]);
+      if (better) {
+        dv = nd;
+        hv = nh;
+        t.parent[static_cast<std::size_t>(inc.neighbor)] = u;
+        t.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
+        pq.push({nd, nh, inc.neighbor});
+      }
+    }
+  }
+  return t;
+}
+
+VoronoiDecomposition MultiSourceDijkstra(const Graph& g,
+                                         std::span<const NodeId> sources) {
+  const auto n = static_cast<std::size_t>(g.NumNodes());
+  VoronoiDecomposition v;
+  v.dist.assign(n, kInfWeight);
+  v.owner.assign(n, kNoNode);
+  v.parent.assign(n, kNoNode);
+  v.parent_edge.assign(n, kNoEdge);
+
+  // Entry: (dist, owner, node) — owner in the key implements the paper's
+  // lexicographic tie-breaking between centers (Definition 4.6).
+  using Entry = std::tuple<Weight, NodeId, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (const NodeId s : sources) {
+    if (v.dist[static_cast<std::size_t>(s)] == 0 &&
+        v.owner[static_cast<std::size_t>(s)] != kNoNode) {
+      continue;  // duplicate source
+    }
+    v.dist[static_cast<std::size_t>(s)] = 0;
+    v.owner[static_cast<std::size_t>(s)] = s;
+    pq.push({0, s, s});
+  }
+  while (!pq.empty()) {
+    const auto [d, own, u] = pq.top();
+    pq.pop();
+    if (d != v.dist[static_cast<std::size_t>(u)] ||
+        own != v.owner[static_cast<std::size_t>(u)]) {
+      continue;
+    }
+    for (const auto& inc : g.Neighbors(u)) {
+      const Weight nd = d + g.GetEdge(inc.edge).w;
+      const auto ni = static_cast<std::size_t>(inc.neighbor);
+      if (nd < v.dist[ni] || (nd == v.dist[ni] && own < v.owner[ni])) {
+        v.dist[ni] = nd;
+        v.owner[ni] = own;
+        v.parent[ni] = u;
+        v.parent_edge[ni] = inc.edge;
+        pq.push({nd, own, inc.neighbor});
+      }
+    }
+  }
+  return v;
+}
+
+std::vector<std::vector<Weight>> DistancesFrom(const Graph& g,
+                                               std::span<const NodeId> sources) {
+  std::vector<std::vector<Weight>> result;
+  result.reserve(sources.size());
+  for (const NodeId s : sources) {
+    result.push_back(Dijkstra(g, s).dist);
+  }
+  return result;
+}
+
+BfsTreeResult Bfs(const Graph& g, NodeId source) {
+  const auto n = static_cast<std::size_t>(g.NumNodes());
+  BfsTreeResult t;
+  t.source = source;
+  t.depth.assign(n, -1);
+  t.parent.assign(n, kNoNode);
+  t.parent_edge.assign(n, kNoEdge);
+  std::queue<NodeId> q;
+  t.depth[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const auto& inc : g.Neighbors(u)) {
+      const auto ni = static_cast<std::size_t>(inc.neighbor);
+      if (t.depth[ni] == -1) {
+        t.depth[ni] = t.depth[static_cast<std::size_t>(u)] + 1;
+        t.parent[ni] = u;
+        t.parent_edge[ni] = inc.edge;
+        q.push(inc.neighbor);
+      }
+    }
+  }
+  return t;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  Components c;
+  c.comp.assign(static_cast<std::size_t>(g.NumNodes()), -1);
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    if (c.comp[static_cast<std::size_t>(s)] != -1) continue;
+    const int idx = c.count++;
+    std::queue<NodeId> q;
+    c.comp[static_cast<std::size_t>(s)] = idx;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (const auto& inc : g.Neighbors(u)) {
+        if (c.comp[static_cast<std::size_t>(inc.neighbor)] == -1) {
+          c.comp[static_cast<std::size_t>(inc.neighbor)] = idx;
+          q.push(inc.neighbor);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Components SubgraphComponents(const Graph& g, std::span<const EdgeId> subset) {
+  UnionFind uf(g.NumNodes());
+  for (const EdgeId id : subset) {
+    const auto& e = g.GetEdge(id);
+    uf.Union(e.u, e.v);
+  }
+  Components c;
+  c.comp.assign(static_cast<std::size_t>(g.NumNodes()), -1);
+  std::vector<int> remap(static_cast<std::size_t>(g.NumNodes()), -1);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const int root = uf.Find(v);
+    if (remap[static_cast<std::size_t>(root)] == -1) {
+      remap[static_cast<std::size_t>(root)] = c.count++;
+    }
+    c.comp[static_cast<std::size_t>(v)] = remap[static_cast<std::size_t>(root)];
+  }
+  return c;
+}
+
+}  // namespace dsf

@@ -1,0 +1,72 @@
+// Centralized shortest-path machinery.
+//
+// Used by the centralized reference algorithms (moat growing needs exact
+// terminal-terminal distances wd(v, w)) and by the analysis/validation side of
+// every experiment. The distributed algorithms do NOT call into this; they run
+// Bellman-Ford style message passing on the simulator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+struct ShortestPathTree {
+  NodeId source = kNoNode;
+  std::vector<Weight> dist;          // weighted distance from source; kInfWeight if unreachable
+  std::vector<NodeId> parent;        // predecessor on a least-weight path; kNoNode at source
+  std::vector<EdgeId> parent_edge;   // edge to the predecessor; kNoEdge at source
+  std::vector<int> hops;             // hop count of the stored least-weight path
+
+  [[nodiscard]] bool Reachable(NodeId v) const {
+    return dist[static_cast<std::size_t>(v)] < kInfWeight;
+  }
+
+  // Edge ids along the stored path from source to v (empty if v == source).
+  [[nodiscard]] std::vector<EdgeId> PathTo(NodeId v) const;
+};
+
+// Dijkstra from a single source. Ties between equal-weight paths are broken
+// toward fewer hops, then smaller predecessor id (deterministic).
+ShortestPathTree Dijkstra(const Graph& g, NodeId source);
+
+// Multi-source Dijkstra: dist = distance to the nearest source; `owner[v]`
+// identifies which source claimed v (ties broken by smaller source id). This
+// is the centralized reference for Voronoi decompositions (Definition 4.6).
+struct VoronoiDecomposition {
+  std::vector<Weight> dist;
+  std::vector<NodeId> owner;        // claiming center, kNoNode if unreachable
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+};
+VoronoiDecomposition MultiSourceDijkstra(const Graph& g,
+                                         std::span<const NodeId> sources);
+
+// All-pairs distances restricted to `targets` as sources (runs |targets|
+// Dijkstras). Result[i][v] = wd(targets[i], v).
+std::vector<std::vector<Weight>> DistancesFrom(const Graph& g,
+                                               std::span<const NodeId> sources);
+
+// Unweighted BFS from `source`: hop distances and parents.
+struct BfsTreeResult {
+  NodeId source = kNoNode;
+  std::vector<int> depth;     // -1 if unreachable
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+};
+BfsTreeResult Bfs(const Graph& g, NodeId source);
+
+// Connected components of (V, E). Returns component index per node and count.
+struct Components {
+  std::vector<int> comp;
+  int count = 0;
+};
+Components ConnectedComponents(const Graph& g);
+
+// Connected components of the subgraph (V, subset).
+Components SubgraphComponents(const Graph& g, std::span<const EdgeId> subset);
+
+}  // namespace dsf

@@ -1,0 +1,74 @@
+// Disjoint-set union with path compression and union by size.
+//
+// Used everywhere merges happen: moat merging (Algorithm 1/2), Kruskal-style
+// candidate filtering (Lemma 4.14), label merging (lines 21-27 of
+// Algorithm 1), and forest validation.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace dsf {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n)
+      : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  [[nodiscard]] int NumElements() const noexcept {
+    return static_cast<int>(parent_.size());
+  }
+
+  int Find(int x) {
+    DSF_CHECK(x >= 0 && x < NumElements());
+    int root = x;
+    while (parent_[static_cast<std::size_t>(root)] != root) {
+      root = parent_[static_cast<std::size_t>(root)];
+    }
+    while (parent_[static_cast<std::size_t>(x)] != root) {
+      const int next = parent_[static_cast<std::size_t>(x)];
+      parent_[static_cast<std::size_t>(x)] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  // Merges the sets of a and b. Returns false if already in the same set.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    return true;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  [[nodiscard]] int SizeOf(int x) {
+    return static_cast<int>(size_[static_cast<std::size_t>(Find(x))]);
+  }
+
+  // Number of disjoint sets currently represented.
+  [[nodiscard]] int NumSets() {
+    int count = 0;
+    for (int i = 0; i < NumElements(); ++i) {
+      if (Find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace dsf

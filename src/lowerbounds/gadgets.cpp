@@ -1,0 +1,150 @@
+#include "lowerbounds/gadgets.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dsf {
+
+namespace {
+
+void CheckSubset(const std::vector<int>& s, int universe) {
+  for (const int x : s) {
+    DSF_CHECK_MSG(x >= 1 && x <= universe, "element " << x << " outside [1.."
+                                                      << universe << "]");
+  }
+}
+
+}  // namespace
+
+CrGadget BuildCrGadget(const std::vector<int>& a, const std::vector<int>& b,
+                       int universe, Weight rho) {
+  DSF_CHECK(universe >= 1);
+  DSF_CHECK(rho >= 1);
+  CheckSubset(a, universe);
+  CheckSubset(b, universe);
+  const int m = universe;
+  // Node layout: a_-1 = 0, a_0 = 1, a_i = 1 + i (i in 1..m),
+  //              b_-1 = m+2, b_0 = m+3, b_i = m+3+i.
+  const NodeId a_minus = 0;
+  const NodeId a_zero = 1;
+  const auto a_at = [](int i) { return static_cast<NodeId>(1 + i); };
+  const NodeId b_minus = static_cast<NodeId>(m + 2);
+  const NodeId b_zero = static_cast<NodeId>(m + 3);
+  const auto b_at = [m](int i) { return static_cast<NodeId>(m + 3 + i); };
+  const int n = 2 * m + 4;
+
+  const std::set<int> in_a(a.begin(), a.end());
+  const std::set<int> in_b(b.begin(), b.end());
+
+  CrGadget g;
+  g.universe = m;
+  Graph graph(n);
+  for (int i = 1; i <= m; ++i) {
+    graph.AddEdge(in_a.contains(i) ? a_zero : a_minus, a_at(i), 1);
+    graph.AddEdge(in_b.contains(i) ? b_zero : b_minus, b_at(i), 1);
+  }
+  const Weight heavy_w = rho * (2 * m + 2) + 1;
+  const EdgeId e_heavy1 = graph.AddEdge(a_zero, b_zero, heavy_w);
+  const EdgeId e_heavy2 = graph.AddEdge(a_minus, b_minus, heavy_w);
+  const EdgeId e_light1 = graph.AddEdge(a_zero, b_minus, 1);
+  const EdgeId e_light2 = graph.AddEdge(a_minus, b_zero, 1);
+  graph.Finalize();
+  g.graph = std::move(graph);
+  g.cut = {e_heavy1, e_heavy2, e_light1, e_light2};
+  g.heavy = {e_heavy1, e_heavy2};
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const int i : a) pairs.push_back({a_at(i), b_at(i)});
+  for (const int i : b) pairs.push_back({b_at(i), a_at(i)});
+  // Chain Alice's demands together (and Bob's): these requests are local to
+  // one side (no extra communication) and collapse the request graph to at
+  // most two input components, matching Lemma 3.1's "no more than two input
+  // components". The reduction is unaffected: in the disjoint case each
+  // chained component is spanned by one light cluster; in the intersecting
+  // case the two light clusters are still only joined by heavy edges.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    pairs.push_back({a_at(a[i - 1]), a_at(a[i])});
+  }
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    pairs.push_back({b_at(b[i - 1]), b_at(b[i])});
+  }
+  g.cr = MakeCrInstance(n, pairs);
+  return g;
+}
+
+bool CrGadgetAnswersDisjoint(const CrGadget& gadget,
+                             std::span<const EdgeId> forest) {
+  for (const EdgeId e : forest) {
+    if (std::find(gadget.heavy.begin(), gadget.heavy.end(), e) !=
+        gadget.heavy.end()) {
+      return false;  // heavy edge used => intersection nonempty
+    }
+  }
+  return true;
+}
+
+IcGadget BuildIcGadget(const std::vector<int>& a, const std::vector<int>& b,
+                       int universe) {
+  DSF_CHECK(universe >= 1);
+  CheckSubset(a, universe);
+  CheckSubset(b, universe);
+  const int m = universe;
+  // a_0 = 0, a_i = i (1..m), b_0 = m+1, b_i = m+1+i.
+  const NodeId a_zero = 0;
+  const auto a_at = [](int i) { return static_cast<NodeId>(i); };
+  const NodeId b_zero = static_cast<NodeId>(m + 1);
+  const auto b_at = [m](int i) { return static_cast<NodeId>(m + 1 + i); };
+  const int n = 2 * m + 2;
+
+  IcGadget g;
+  g.universe = m;
+  Graph graph(n);
+  for (int i = 1; i <= m; ++i) {
+    graph.AddEdge(a_zero, a_at(i), 1);
+    graph.AddEdge(b_zero, b_at(i), 1);
+  }
+  g.bridge = graph.AddEdge(a_zero, b_zero, 1);
+  graph.Finalize();
+  g.graph = std::move(graph);
+  g.cut = {g.bridge};
+
+  std::vector<std::pair<NodeId, Label>> labels;
+  for (const int i : a) labels.push_back({a_at(i), static_cast<Label>(i)});
+  for (const int i : b) labels.push_back({b_at(i), static_cast<Label>(i)});
+  g.ic = MakeIcInstance(n, labels);
+  return g;
+}
+
+bool IcGadgetAnswersDisjoint(const IcGadget& gadget,
+                             std::span<const EdgeId> forest) {
+  return std::find(forest.begin(), forest.end(), gadget.bridge) == forest.end();
+}
+
+PathGadget BuildPathGadget(int path_length, int stride) {
+  DSF_CHECK(path_length >= 2);
+  DSF_CHECK(stride >= 1);
+  const int n_path = path_length + 1;
+  const NodeId hub = static_cast<NodeId>(n_path);
+  Graph graph(n_path + 1);
+  for (int i = 0; i < path_length; ++i) {
+    graph.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1);
+  }
+  const Weight hub_w = 2 * static_cast<Weight>(path_length);
+  for (int i = 0; i < n_path; i += stride) {
+    graph.AddEdge(hub, static_cast<NodeId>(i), hub_w);
+  }
+  // Ensure the last path node also reaches the hub (diameter control).
+  if ((n_path - 1) % stride != 0) {
+    graph.AddEdge(hub, static_cast<NodeId>(n_path - 1), hub_w);
+  }
+  graph.Finalize();
+
+  PathGadget g;
+  g.graph = std::move(graph);
+  g.path_length = path_length;
+  g.ic = MakeIcInstance(n_path + 1,
+                        {{0, 1}, {static_cast<NodeId>(n_path - 1), 1}});
+  return g;
+}
+
+}  // namespace dsf

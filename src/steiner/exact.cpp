@@ -1,0 +1,114 @@
+#include "steiner/exact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "graph/shortest_paths.hpp"
+
+namespace dsf {
+
+Weight ExactSteinerTreeWeight(const Graph& g,
+                              std::span<const NodeId> terminals) {
+  const int t = static_cast<int>(terminals.size());
+  if (t <= 1) return 0;
+  DSF_CHECK_MSG(t <= 20, "Dreyfus-Wagner limited to 20 terminals, got " << t);
+  const int n = g.NumNodes();
+
+  // All-pairs shortest distances (n Dijkstras — small instances only).
+  std::vector<std::vector<Weight>> dist;
+  dist.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) dist.push_back(Dijkstra(g, v).dist);
+
+  const std::uint32_t full = (1u << t) - 1;
+  // dp[S][v] = min weight of a tree spanning {terminals in S} ∪ {v}.
+  std::vector<std::vector<Weight>> dp(
+      full + 1, std::vector<Weight>(static_cast<std::size_t>(n), kInfWeight));
+  for (int i = 0; i < t; ++i) {
+    const NodeId ti = terminals[static_cast<std::size_t>(i)];
+    for (NodeId v = 0; v < n; ++v) {
+      dp[1u << i][static_cast<std::size_t>(v)] =
+          dist[static_cast<std::size_t>(ti)][static_cast<std::size_t>(v)];
+    }
+  }
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singletons initialized above
+    auto& row = dp[s];
+    // Combine two subtrees at a common node.
+    for (std::uint32_t sub = (s - 1) & s; sub != 0; sub = (sub - 1) & s) {
+      if (sub < (s ^ sub)) continue;  // each split once
+      const auto& a = dp[sub];
+      const auto& b = dp[s ^ sub];
+      for (NodeId v = 0; v < n; ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (a[vi] < kInfWeight && b[vi] < kInfWeight) {
+          row[vi] = std::min(row[vi], a[vi] + b[vi]);
+        }
+      }
+    }
+    // Re-root through shortest paths (metric closure relaxation).
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (row[vi] >= kInfWeight) continue;
+      for (NodeId u = 0; u < n; ++u) {
+        const auto ui = static_cast<std::size_t>(u);
+        const Weight via = row[vi] + dist[vi][ui];
+        row[ui] = std::min(row[ui], via);
+      }
+    }
+  }
+  Weight best = kInfWeight;
+  const NodeId t0 = terminals[0];
+  best = dp[full][static_cast<std::size_t>(t0)];
+  return best;
+}
+
+Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic) {
+  const IcInstance inst = MakeMinimal(ic);
+  const auto labels = inst.DistinctLabels();
+  const int k = static_cast<int>(labels.size());
+  if (k == 0) return 0;
+  DSF_CHECK_MSG(k <= 8, "partition enumeration limited to 8 components");
+
+  std::map<Label, std::vector<NodeId>> members;
+  for (NodeId v = 0; v < inst.NumNodes(); ++v) {
+    if (inst.IsTerminal(v)) members[inst.LabelOf(v)].push_back(v);
+  }
+
+  // Memoize Steiner-tree weights per subset of components.
+  std::vector<Weight> tree_weight(1u << k, -1);
+  const auto subset_weight = [&](std::uint32_t mask) -> Weight {
+    Weight& memo = tree_weight[mask];
+    if (memo >= 0) return memo;
+    std::vector<NodeId> terms;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) {
+        const auto& m = members[labels[static_cast<std::size_t>(i)]];
+        terms.insert(terms.end(), m.begin(), m.end());
+      }
+    }
+    memo = ExactSteinerTreeWeight(g, terms);
+    return memo;
+  };
+
+  // dp over subsets: opt[S] = min over nonempty T ⊆ S (containing lowest bit)
+  // of subset_weight(T) + opt[S \ T]. Equivalent to minimizing over set
+  // partitions, without explicit partition enumeration.
+  const std::uint32_t full = (1u << k) - 1;
+  std::vector<Weight> opt(full + 1, kInfWeight);
+  opt[0] = 0;
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    const std::uint32_t low = s & (~s + 1);
+    for (std::uint32_t sub = s; sub != 0; sub = (sub - 1) & s) {
+      if (!(sub & low)) continue;
+      const Weight tw = subset_weight(sub);
+      const Weight rest = opt[s ^ sub];
+      if (tw < kInfWeight && rest < kInfWeight) {
+        opt[s] = std::min(opt[s], tw + rest);
+      }
+    }
+  }
+  return opt[full];
+}
+
+}  // namespace dsf

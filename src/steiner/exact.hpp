@@ -1,0 +1,26 @@
+// Exact Steiner tree / forest solvers (ground truth for approximation
+// ratios; Steiner Forest is NP-hard, so these are exponential in k / t and
+// used on small instances only).
+//
+// Steiner tree: Dreyfus–Wagner dynamic program, O(3^t n + 2^t n^2).
+// Steiner forest: the connected components of an optimal forest induce a
+// partition of the input components, and each part is an optimal Steiner
+// tree over its terminals; we minimize over all set partitions of Λ.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+// Weight of an optimal Steiner tree connecting `terminals` (<= ~16 of them).
+// Returns 0 when |terminals| <= 1 and kInfWeight when disconnected.
+Weight ExactSteinerTreeWeight(const Graph& g, std::span<const NodeId> terminals);
+
+// Weight of an optimal Steiner forest for the instance (k <= ~7 components).
+Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic);
+
+}  // namespace dsf

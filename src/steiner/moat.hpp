@@ -1,0 +1,171 @@
+// Moat growing (Agrawal–Klein–Ravi primal-dual), Algorithms 1 and 2 of the
+// paper (Appendix C / D), plus the shared bookkeeping (`MoatBook`) that both
+// the centralized reference and the distributed emulation use — keeping the
+// two in lockstep is what makes the equivalence tests meaningful.
+//
+// Arithmetic: moat radii live on a fixed-point grid of 2^-12 weight units
+// (type `Fixed`). Event times of Algorithm 1 are dyadic rationals whose
+// denominators can deepen by one bit per merge; quantizing the half-step
+// µ' = (wd - rad_v - rad_w)/2 to the grid (rounding up) keeps all arithmetic
+// exact in int64, makes the centralized and distributed implementations
+// bit-identical, and perturbs event times by < 2^-12 per merge — an error
+// that is orders of magnitude below the unit minimum edge weight and hence
+// immaterial to the approximation guarantee (verified against exact optima
+// in tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+// ---------------------------------------------------------------------------
+// Fixed-point scalar.
+// ---------------------------------------------------------------------------
+
+using Fixed = std::int64_t;
+inline constexpr int kFixedShift = 12;
+inline constexpr Fixed kFixedOne = Fixed{1} << kFixedShift;
+
+[[nodiscard]] constexpr Fixed ToFixed(Weight w) noexcept {
+  return static_cast<Fixed>(w) << kFixedShift;
+}
+[[nodiscard]] constexpr Real FixedToReal(Fixed f) noexcept {
+  return static_cast<Real>(f) / static_cast<Real>(kFixedOne);
+}
+// Half of x, rounded up onto the grid (deterministic in both implementations).
+[[nodiscard]] constexpr Fixed HalfUp(Fixed x) noexcept { return (x + 1) >> 1; }
+
+// ---------------------------------------------------------------------------
+// Merge records and shared moat bookkeeping.
+// ---------------------------------------------------------------------------
+
+// One merge step of Algorithm 1/2: the moats of terminals v and w are joined
+// after the active moats have grown by µ (Fixed units) since the previous
+// merge. `both_active` distinguishes µ'-type (2µ closes the gap) from
+// µ''-type (only v's side grows) merges.
+struct MergeRecord {
+  NodeId v = kNoNode;       // terminal on the (always) active side
+  NodeId w = kNoNode;       // other terminal
+  Fixed mu = 0;             // growth increment that triggered the merge
+  bool both_active = false;
+  int phase = 0;            // merge-phase index (Definition 4.3 / 4.19)
+  EdgeId via_edge = kNoEdge;  // witnessing boundary edge (distributed only)
+};
+
+enum class MoatMode {
+  kExact,    // Algorithm 1: deactivation immediately upon satisfaction
+  kRounded,  // Algorithm 2: deactivation only at µ̂ checkpoints
+};
+
+// Bookkeeping of moats, component labels, radii, and activity, exactly as in
+// Algorithm 1 lines 1-5 and 20-33 (and Algorithm 2's checkpoint variant).
+// Both the centralized solver and every node of the distributed protocol run
+// an identical MoatBook fed with the same merge sequence.
+class MoatBook {
+ public:
+  MoatBook(std::span<const NodeId> terminals, std::span<const Label> labels,
+           MoatMode mode);
+
+  [[nodiscard]] int NumTerminals() const noexcept {
+    return static_cast<int>(terminals_.size());
+  }
+  [[nodiscard]] NodeId TerminalAt(int i) const {
+    return terminals_[static_cast<std::size_t>(i)];
+  }
+  // Index of a terminal in the book's order, or -1.
+  [[nodiscard]] int IndexOf(NodeId v) const;
+
+  [[nodiscard]] bool ActiveTerminal(int idx) const;
+  [[nodiscard]] Fixed RadOf(int idx) const {
+    return rad_[static_cast<std::size_t>(idx)];
+  }
+  [[nodiscard]] int MoatOf(int idx) const;  // canonical moat representative
+  [[nodiscard]] int NumActiveMoats() const;
+  [[nodiscard]] bool AnyActive() const { return NumActiveMoats() > 0; }
+
+  struct ApplyResult {
+    bool activity_changed = false;    // some terminal's act flipped (Def 4.3)
+    bool involved_inactive = false;   // one side was inactive (Def 4.19)
+    bool became_inactive = false;     // merged moat satisfied (kExact only)
+  };
+
+  // Grows all active moats by µ, then merges the moats of terminal indices
+  // iv and iw (must be distinct moats). `phase` and `via_edge` are recorded
+  // in the merge log verbatim.
+  ApplyResult GrowAndMerge(Fixed mu, int iv, int iw, int phase,
+                           EdgeId via_edge = kNoEdge);
+
+  // Algorithm 2 checkpoint: grows active moats by µ (the residual up to µ̂),
+  // then deactivates every satisfied moat. Returns #deactivated.
+  int GrowAndCheckpoint(Fixed mu);
+
+  [[nodiscard]] Fixed TotalGrowth() const noexcept { return total_growth_; }
+  // Σ_i act_i µ_i — the dual lower bound of Lemma C.4: any feasible solution
+  // weighs at least this (Algorithm 1) / this divided by 1 + ε/2 (Alg. 2).
+  [[nodiscard]] Fixed DualSum() const noexcept { return dual_sum_; }
+
+  [[nodiscard]] const std::vector<MergeRecord>& Merges() const noexcept {
+    return merges_;
+  }
+
+  // The subset of merge edges (as a forest on terminal indices) that is
+  // minimal w.r.t. connecting every label class — the Fmin of Section E.1
+  // step 4. Returns indices into Merges().
+  [[nodiscard]] std::vector<int> MinimalMergeSubset() const;
+
+ private:
+  void RecomputeActivity(int moat_root);
+  [[nodiscard]] bool Satisfied(int moat_root) const;
+
+  MoatMode mode_;
+  std::vector<NodeId> terminals_;
+  std::vector<Label> labels_;  // per terminal index (original labels)
+
+  // Moat partition (union-find over terminal indices).
+  mutable std::vector<int> moat_parent_;
+  std::vector<int> moat_size_;
+
+  // Label-class partition (classes merge when moats merge, Alg. 1 l. 21-27).
+  mutable std::vector<int> class_parent_;  // over terminal indices as class seeds
+  std::vector<int> class_total_;           // #terminals whose label is in class
+
+  std::vector<int> moat_class_;   // class root per moat root
+  std::vector<char> moat_active_;  // per moat root
+  std::vector<Fixed> rad_;         // per terminal
+  std::vector<MergeRecord> merges_;
+  Fixed total_growth_ = 0;
+  Fixed dual_sum_ = 0;
+
+  int FindMoat(int x) const;
+  int FindClass(int x) const;
+};
+
+// ---------------------------------------------------------------------------
+// Centralized algorithms.
+// ---------------------------------------------------------------------------
+
+struct MoatOptions {
+  // ε of Algorithm 2; epsilon == 0 runs Algorithm 1 (exact events).
+  Real epsilon = 0.0L;
+};
+
+struct MoatResult {
+  std::vector<EdgeId> forest;       // minimal feasible subforest (the output)
+  std::vector<EdgeId> raw_forest;   // F_imax before final pruning
+  std::vector<MergeRecord> merges;
+  Fixed dual_sum = 0;      // lower bound on OPT (divide by 1+ε/2 for Alg. 2)
+  int merge_phases = 0;    // jmax (Definition 4.3 / 4.19)
+  int growth_phases = 0;   // gmax (Algorithm 2 only; 0 for Algorithm 1)
+};
+
+// Runs Algorithm 1 (options.epsilon == 0) or Algorithm 2 (> 0) on a minimal
+// DSF-IC instance. Non-minimal instances are reduced via MakeMinimal first.
+MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
+                                  const MoatOptions& options = {});
+
+}  // namespace dsf

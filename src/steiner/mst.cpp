@@ -1,0 +1,33 @@
+#include "steiner/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+std::vector<EdgeId> KruskalMst(const Graph& g) {
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.NumEdges()));
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+    const Weight wa = g.GetEdge(a).w;
+    const Weight wb = g.GetEdge(b).w;
+    return wa != wb ? wa < wb : a < b;
+  });
+  UnionFind uf(g.NumNodes());
+  std::vector<EdgeId> mst;
+  for (const EdgeId id : ids) {
+    const auto& e = g.GetEdge(id);
+    if (uf.Union(e.u, e.v)) mst.push_back(id);
+  }
+  return mst;
+}
+
+Weight MstWeight(const Graph& g) {
+  Weight sum = 0;
+  for (const EdgeId id : KruskalMst(g)) sum += g.GetEdge(id).w;
+  return sum;
+}
+
+}  // namespace dsf

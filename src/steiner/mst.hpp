@@ -1,0 +1,22 @@
+// Minimum spanning tree (Kruskal) — baseline and special-case oracle.
+//
+// The paper notes (Section 1, "Main Techniques") that for k = 1 the moat
+// algorithm specializes to an MST of the terminal metric, and for the MST
+// problem proper (t = n, k = 1) it returns an exact MST. The benchmark
+// bench_mst_special verifies both against this implementation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+// Edge ids of a minimum spanning forest of g (deterministic tie-breaking by
+// edge id).
+std::vector<EdgeId> KruskalMst(const Graph& g);
+
+// Total weight of the minimum spanning forest.
+Weight MstWeight(const Graph& g);
+
+}  // namespace dsf

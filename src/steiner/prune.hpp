@@ -1,0 +1,22 @@
+// Minimal-subforest extraction ("return minimal feasible subset of F_i",
+// Algorithm 1 line 34; implemented distributively in Appendix F.3).
+//
+// Given a feasible forest F, the minimal feasible subset is unique: a tree
+// edge is kept iff some input component has terminals on both of its sides.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+// Returns the unique minimal subset of `forest` that still connects every
+// input component. `forest` must be a cycle-free, feasible edge set.
+std::vector<EdgeId> MinimalFeasibleSubforest(const Graph& g,
+                                             const IcInstance& ic,
+                                             std::span<const EdgeId> forest);
+
+}  // namespace dsf

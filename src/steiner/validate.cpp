@@ -1,0 +1,70 @@
+#include "steiner/validate.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+namespace {
+
+UnionFind BuildUf(const Graph& g, std::span<const EdgeId> f) {
+  UnionFind uf(g.NumNodes());
+  for (const EdgeId id : f) {
+    const auto& e = g.GetEdge(id);
+    uf.Union(e.u, e.v);
+  }
+  return uf;
+}
+
+}  // namespace
+
+bool IsFeasible(const Graph& g, const IcInstance& ic, std::span<const EdgeId> f) {
+  return FeasibilityDiagnostic(g, ic, f).empty();
+}
+
+std::string FeasibilityDiagnostic(const Graph& g, const IcInstance& ic,
+                                  std::span<const EdgeId> f) {
+  DSF_CHECK(ic.NumNodes() == g.NumNodes());
+  UnionFind uf = BuildUf(g, f);
+  std::map<Label, NodeId> representative;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const Label l = ic.LabelOf(v);
+    if (l == kNoLabel) continue;
+    auto [it, inserted] = representative.try_emplace(l, v);
+    if (!inserted && !uf.Connected(it->second, v)) {
+      std::ostringstream os;
+      os << "terminals " << it->second << " and " << v << " of component " << l
+         << " are not connected by F";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+bool IsFeasibleCr(const Graph& g, const CrInstance& cr,
+                  std::span<const EdgeId> f) {
+  DSF_CHECK(cr.NumNodes() == g.NumNodes());
+  UnionFind uf = BuildUf(g, f);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const NodeId w : cr.requests[static_cast<std::size_t>(v)]) {
+      if (!uf.Connected(v, w)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMinimalFeasible(const Graph& g, const IcInstance& ic,
+                       std::span<const EdgeId> f) {
+  if (!IsFeasible(g, ic, f)) return false;
+  std::vector<EdgeId> reduced(f.begin(), f.end());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    std::vector<EdgeId> without = reduced;
+    without.erase(without.begin() + static_cast<std::ptrdiff_t>(i));
+    if (IsFeasible(g, ic, without)) return false;
+  }
+  return true;
+}
+
+}  // namespace dsf

@@ -1,0 +1,201 @@
+#include "congest/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/protocols.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dsf {
+namespace {
+
+StaticKnowledge KnownFor(const Graph& g) {
+  StaticKnowledge k;
+  k.n = g.NumNodes();
+  k.diameter_bound = UnweightedDiameter(g);
+  k.spd_bound = ShortestPathDiameter(g);
+  return k;
+}
+
+// A trivial program: every node sends its id to all neighbors in round 0 and
+// records what it hears.
+class HelloProgram : public NodeProgram {
+ public:
+  explicit HelloProgram(NodeId id) : id_(id) {}
+
+  void OnRound(NodeApi& api) override {
+    if (api.Round() == 0) {
+      for (int i = 0; i < api.Degree(); ++i) {
+        api.Send(i, Message{kChApp, {id_}});
+      }
+      return;
+    }
+    for (const auto& d : api.Inbox()) {
+      heard.push_back(d.msg.fields[0]);
+      EXPECT_EQ(d.from_node, static_cast<NodeId>(d.msg.fields[0]));
+    }
+    done_ = true;
+  }
+
+  [[nodiscard]] bool Done() const override { return done_; }
+
+  std::vector<std::int64_t> heard;
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(NetworkTest, MessagesDeliveredNextRound) {
+  const Graph g = MakePath(3);
+  Network net(g, KnownFor(g), 1);
+  net.Start([](NodeId v) { return std::make_unique<HelloProgram>(v); });
+  const auto stats = net.Run(10);
+  EXPECT_FALSE(stats.hit_round_limit);
+  auto& p1 = dynamic_cast<HelloProgram&>(net.ProgramAt(1));
+  ASSERT_EQ(p1.heard.size(), 2u);
+  EXPECT_EQ(stats.messages, 4);  // 1+2+1 directed sends
+}
+
+TEST(NetworkTest, StatsCountBits) {
+  const Graph g = MakePath(2);
+  Network net(g, KnownFor(g), 1);
+  net.Start([](NodeId v) { return std::make_unique<HelloProgram>(v); });
+  const auto stats = net.Run(10);
+  EXPECT_GT(stats.total_bits, 0);
+  EXPECT_GT(stats.max_bits_per_edge_round, 0);
+  EXPECT_LE(stats.max_bits_per_edge_round, net.Known().bandwidth_bits);
+}
+
+TEST(NetworkTest, CutMetering) {
+  const Graph g = MakePath(4);  // edges 0:(0-1) 1:(1-2) 2:(2-3)
+  Network net(g, KnownFor(g), 1);
+  const std::vector<EdgeId> cut{1};
+  net.RegisterCut(cut);
+  net.Start([](NodeId v) { return std::make_unique<HelloProgram>(v); });
+  const auto stats = net.Run(10);
+  EXPECT_EQ(stats.cut_messages, 2);  // 1->2 and 2->1
+  EXPECT_GT(stats.cut_bits, 0);
+  EXPECT_LT(stats.cut_bits, stats.total_bits);
+}
+
+TEST(NetworkTest, RoundLimitFlag) {
+  // A program that never finishes.
+  class Forever : public NodeProgram {
+   public:
+    void OnRound(NodeApi&) override {}
+    [[nodiscard]] bool Done() const override { return false; }
+  };
+  const Graph g = MakePath(2);
+  Network net(g, KnownFor(g), 1);
+  net.Start([](NodeId) { return std::make_unique<Forever>(); });
+  const auto stats = net.Run(25);
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_EQ(stats.rounds, 25);
+}
+
+TEST(NetworkTest, MarkedEdgesCollected) {
+  class Marker : public NodeProgram {
+   public:
+    explicit Marker(NodeId id) : id_(id) {}
+    void OnRound(NodeApi& api) override {
+      if (id_ == 0 && api.Round() == 0) api.MarkEdge(0);
+      done_ = true;
+    }
+    [[nodiscard]] bool Done() const override { return done_; }
+
+   private:
+    NodeId id_;
+    bool done_ = false;
+  };
+  const Graph g = MakePath(3);
+  Network net(g, KnownFor(g), 1);
+  net.Start([](NodeId v) { return std::make_unique<Marker>(v); });
+  net.Run(5);
+  const auto marked = net.MarkedEdges();
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_EQ(marked[0], 0);
+}
+
+TEST(NetworkTest, PerNodeRngIsDeterministicAndDistinct) {
+  const Graph g = MakePath(3);
+  class RngProbe : public NodeProgram {
+   public:
+    void OnRound(NodeApi& api) override {
+      if (api.Round() == 0) value = api.Rng().Next();
+      done_ = true;
+    }
+    [[nodiscard]] bool Done() const override { return done_; }
+    std::uint64_t value = 0;
+
+   private:
+    bool done_ = false;
+  };
+  Network a(g, KnownFor(g), 99);
+  a.Start([](NodeId) { return std::make_unique<RngProbe>(); });
+  a.Run(3);
+  Network b(g, KnownFor(g), 99);
+  b.Start([](NodeId) { return std::make_unique<RngProbe>(); });
+  b.Run(3);
+  for (NodeId v = 0; v < 3; ++v) {
+    const auto va = dynamic_cast<RngProbe&>(a.ProgramAt(v)).value;
+    const auto vb = dynamic_cast<RngProbe&>(b.ProgramAt(v)).value;
+    EXPECT_EQ(va, vb);
+  }
+  EXPECT_NE(dynamic_cast<RngProbe&>(a.ProgramAt(0)).value,
+            dynamic_cast<RngProbe&>(a.ProgramAt(1)).value);
+}
+
+// --- BFS tree / TreeProgramBase ---
+
+TEST(BfsTreeTest, DepthsMatchCentralizedBfs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(20, 0.15, 1, 9, rng);
+    Network net(g, KnownFor(g), seed);
+    net.Start([](NodeId v) { return std::make_unique<BfsProbeProgram>(v); });
+    const auto stats = net.Run(10000);
+    EXPECT_FALSE(stats.hit_round_limit);
+    const auto reference = Bfs(g, g.NumNodes() - 1);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const auto& p = dynamic_cast<BfsProbeProgram&>(net.ProgramAt(v));
+      EXPECT_EQ(p.observed_depth, reference.depth[static_cast<std::size_t>(v)])
+          << "node " << v << " seed " << seed;
+    }
+  }
+}
+
+TEST(BfsTreeTest, TreeBuildWithinDiameterPlusSlack) {
+  const Graph g = MakePath(30);
+  Network net(g, KnownFor(g), 0);
+  net.Start([](NodeId v) { return std::make_unique<BfsProbeProgram>(v); });
+  const auto stats = net.Run(10000);
+  EXPECT_FALSE(stats.hit_round_limit);
+  // Tree build is D+2 rounds; FINISH broadcast adds <= D+1 more.
+  EXPECT_LE(stats.rounds, 2 * 29 + 10);
+}
+
+TEST(BfsTreeTest, SingleNodeGraph) {
+  Graph g(1);
+  g.Finalize();
+  Network net(g, KnownFor(g), 0);
+  net.Start([](NodeId v) { return std::make_unique<BfsProbeProgram>(v); });
+  const auto stats = net.Run(100);
+  EXPECT_FALSE(stats.hit_round_limit);
+  const auto& p = dynamic_cast<BfsProbeProgram&>(net.ProgramAt(0));
+  EXPECT_EQ(p.observed_depth, 0);
+}
+
+TEST(BfsTreeTest, StarRootedAtMaxId) {
+  const Graph g = MakeStar(8);  // center 0, leaves 1..7; root is node 7
+  Network net(g, KnownFor(g), 0);
+  net.Start([](NodeId v) { return std::make_unique<BfsProbeProgram>(v); });
+  net.Run(1000);
+  EXPECT_EQ(dynamic_cast<BfsProbeProgram&>(net.ProgramAt(7)).observed_depth, 0);
+  EXPECT_EQ(dynamic_cast<BfsProbeProgram&>(net.ProgramAt(0)).observed_depth, 1);
+  EXPECT_EQ(dynamic_cast<BfsProbeProgram&>(net.ProgramAt(3)).observed_depth, 2);
+}
+
+}  // namespace
+}  // namespace dsf

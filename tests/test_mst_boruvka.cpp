@@ -1,0 +1,93 @@
+// Tests for the distributed Borůvka MST (baseline for the paper's MST
+// specialization claims).
+#include "dist/mst_boruvka.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "dist/det_moat.hpp"
+#include "graph/generators.hpp"
+#include "steiner/mst.hpp"
+
+namespace dsf {
+namespace {
+
+TEST(BoruvkaTest, PathGraph) {
+  const Graph g = MakePath(7, 3);
+  const auto res = RunDistributedMst(g);
+  EXPECT_EQ(res.tree.size(), 6u);
+  EXPECT_EQ(g.WeightOf(res.tree), MstWeight(g));
+}
+
+TEST(BoruvkaTest, MatchesKruskalEdgeForEdge) {
+  // With the (weight, edge id) key the MST is unique, so the distributed
+  // protocol must return exactly Kruskal's edge set.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SplitMix64 rng(seed * 11 + 3);
+    const Graph g = MakeConnectedRandom(24, 0.2, 1, 40, rng);
+    const auto res = RunDistributedMst(g, seed + 1);
+    auto kruskal = KruskalMst(g);
+    std::sort(kruskal.begin(), kruskal.end());
+    auto tree = res.tree;
+    std::sort(tree.begin(), tree.end());
+    EXPECT_EQ(tree, kruskal) << seed;
+  }
+}
+
+TEST(BoruvkaTest, UnitWeightsWithManyTies) {
+  SplitMix64 rng(5);
+  const Graph g = MakeConnectedRandom(20, 0.3, 1, 1, rng);
+  const auto res = RunDistributedMst(g);
+  EXPECT_EQ(res.tree.size(), 19u);
+  EXPECT_TRUE(g.IsForest(res.tree));
+}
+
+TEST(BoruvkaTest, PhasesLogarithmic) {
+  SplitMix64 rng(9);
+  const Graph g = MakeConnectedRandom(64, 0.1, 1, 99, rng);
+  const auto res = RunDistributedMst(g, 1);
+  // Borůvka halves the fragment count per phase: <= log2(n) + 1 phases
+  // (+1 for the final no-progress detection phase).
+  EXPECT_LE(res.phases, std::bit_width(64u) + 1);
+}
+
+TEST(BoruvkaTest, CompleteGraph) {
+  SplitMix64 rng(2);
+  const Graph g = MakeComplete(10, 1, 30, rng);
+  const auto res = RunDistributedMst(g);
+  EXPECT_EQ(g.WeightOf(res.tree), MstWeight(g));
+}
+
+TEST(BoruvkaTest, AgreesWithMoatGrowingSpecialCase) {
+  // Cross-algorithm: moat growing with t = n, k = 1 yields an MST of the
+  // same weight (paper, Main Techniques) — the two independent distributed
+  // protocols must agree.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SplitMix64 rng(seed * 3 + 7);
+    const Graph g = MakeConnectedRandom(16, 0.25, 1, 25, rng);
+    std::vector<std::pair<NodeId, Label>> assign;
+    for (NodeId v = 0; v < 16; ++v) assign.push_back({v, 1});
+    const auto moat = RunDistributedMoat(g, MakeIcInstance(16, assign));
+    const auto boruvka = RunDistributedMst(g, seed + 1);
+    EXPECT_EQ(g.WeightOf(moat.forest), g.WeightOf(boruvka.tree)) << seed;
+  }
+}
+
+TEST(BoruvkaTest, DisconnectedRejected) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);
+  g.Finalize();
+  EXPECT_THROW(RunDistributedMst(g), std::logic_error);
+}
+
+TEST(BoruvkaTest, TwoNodes) {
+  const Graph g = MakeGraph(2, {{0, 1, 9}});
+  const auto res = RunDistributedMst(g);
+  EXPECT_EQ(res.tree, (std::vector<EdgeId>{0}));
+}
+
+}  // namespace
+}  // namespace dsf

@@ -1,0 +1,85 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dsf {
+namespace {
+
+TEST(PropertiesTest, PathParameters) {
+  const Graph g = MakePath(6, 2);
+  const auto p = ComputeParameters(g);
+  EXPECT_TRUE(p.connected);
+  EXPECT_EQ(p.unweighted_diameter, 5);
+  EXPECT_EQ(p.shortest_path_diameter, 5);
+  EXPECT_EQ(p.weighted_diameter, 10);
+}
+
+TEST(PropertiesTest, StarParameters) {
+  const Graph g = MakeStar(9, 7);
+  const auto p = ComputeParameters(g);
+  EXPECT_EQ(p.unweighted_diameter, 2);
+  EXPECT_EQ(p.shortest_path_diameter, 2);
+  EXPECT_EQ(p.weighted_diameter, 14);
+}
+
+TEST(PropertiesTest, ShortestPathDiameterExceedsHopDiameter) {
+  // Cycle with one heavy chord-avoiding structure: a 6-cycle where one edge is
+  // heavy forces weighted shortest paths the long way around.
+  Graph g(6);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 3, 1);
+  g.AddEdge(3, 4, 1);
+  g.AddEdge(4, 5, 1);
+  g.AddEdge(5, 0, 100);
+  g.Finalize();
+  const auto p = ComputeParameters(g);
+  EXPECT_EQ(p.unweighted_diameter, 3);
+  EXPECT_EQ(p.shortest_path_diameter, 5);  // 0..5 along the light path
+}
+
+TEST(PropertiesTest, SAlwaysAtLeastD) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(30, 0.1, 1, 40, rng);
+    const auto p = ComputeParameters(g);
+    EXPECT_GE(p.shortest_path_diameter, p.unweighted_diameter) << seed;
+  }
+}
+
+TEST(PropertiesTest, UnitWeightsMakeSEqualD) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(25, 0.15, 1, 1, rng);
+    EXPECT_EQ(ShortestPathDiameter(g), UnweightedDiameter(g)) << seed;
+  }
+}
+
+TEST(PropertiesTest, DisconnectedDetected) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1);
+  g.Finalize();
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_FALSE(ComputeParameters(g).connected);
+}
+
+TEST(PropertiesTest, CompleteGraphDiameterOne) {
+  SplitMix64 rng(5);
+  const Graph g = MakeComplete(8, 1, 1, rng);
+  EXPECT_EQ(UnweightedDiameter(g), 1);
+  EXPECT_EQ(WeightedDiameter(g), 1);
+}
+
+TEST(PropertiesTest, SingleNode) {
+  Graph g(1);
+  g.Finalize();
+  const auto p = ComputeParameters(g);
+  EXPECT_TRUE(p.connected);
+  EXPECT_EQ(p.unweighted_diameter, 0);
+  EXPECT_EQ(p.shortest_path_diameter, 0);
+}
+
+}  // namespace
+}  // namespace dsf

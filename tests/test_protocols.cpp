@@ -1,0 +1,206 @@
+// Unit tests for the reusable CONGEST protocol blocks (protocols.hpp) and
+// message encoding.
+#include "congest/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace dsf {
+namespace {
+
+TEST(MessageTest, BitSizeGrowsWithMagnitude) {
+  const Message small{kChApp, {1}};
+  const Message large{kChApp, {1'000'000'000}};
+  EXPECT_LT(small.BitSize(), large.BitSize());
+  const Message neg{kChApp, {-5}};
+  EXPECT_GT(neg.BitSize(), 4u);  // zigzag handles negatives
+}
+
+TEST(MessageTest, BitSizeCountsAllFields) {
+  const Message one{kChApp, {7}};
+  const Message three{kChApp, {7, 7, 7}};
+  EXPECT_GT(three.BitSize(), 2 * one.BitSize() - 8);
+}
+
+TEST(MessageTest, EmptyMessageHasHeaderOnly) {
+  Message m;
+  m.fields.clear();
+  EXPECT_EQ(m.BitSize(), 4u);
+}
+
+// Collect pipeline semantics, driven directly (no network).
+TEST(CollectPipelineTest, CompleteRequiresChildrenAndOwnDone) {
+  CollectPipeline p;
+  p.Configure(kChApp, 2);
+  EXPECT_FALSE(p.Complete());
+  p.MarkOwnDone();
+  EXPECT_FALSE(p.Complete());  // children pending
+  Message done{kChApp, {CollectPipeline::kDoneSentinel}};
+  p.OnReceive(done, false, nullptr);
+  p.OnReceive(done, false, nullptr);
+  EXPECT_TRUE(p.Complete());
+}
+
+TEST(CollectPipelineTest, PayloadsCollectedAtRoot) {
+  CollectPipeline p;
+  p.Configure(kChApp, 0);
+  std::vector<std::vector<std::int64_t>> out;
+  Message payload{kChApp, {42, 7}};
+  p.OnReceive(payload, true, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<std::int64_t>{42, 7}));
+}
+
+// A program exercising the collect pipeline on a real network: every node
+// seeds one item (its id); the root must receive all of them.
+class CollectAllProgram : public TreeProgramBase {
+ public:
+  explicit CollectAllProgram(NodeId id) : TreeProgramBase(id) {}
+  std::vector<std::vector<std::int64_t>> collected;
+
+ protected:
+  void OnTreeReady(NodeApi& api) override {
+    (void)api;
+    pipe_.Configure(kChApp, static_cast<int>(ChildLocals().size()));
+    pipe_.Seed({Id()});
+    pipe_.MarkOwnDone();
+  }
+  void OnAppRound(NodeApi& api) override {
+    if (!TreeReady()) return;
+    for (const auto& d : api.Inbox()) {
+      if (d.msg.channel == kChApp) {
+        pipe_.OnReceive(d.msg, IsRoot(), &collected);
+      }
+    }
+    pipe_.Tick(api, ParentLocal(), IsRoot() ? &collected : nullptr);
+    if (IsRoot() && pipe_.Complete() && !finished_) {
+      finished_ = true;
+      Finish();
+    }
+  }
+
+ private:
+  CollectPipeline pipe_;
+  bool finished_ = false;
+};
+
+TEST(CollectPipelineTest, GathersEveryNodeIdOverNetwork) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(17, 0.2, 1, 5, rng);
+    const auto params = ComputeParameters(g);
+    StaticKnowledge known;
+    known.n = g.NumNodes();
+    known.diameter_bound = params.unweighted_diameter;
+    known.spd_bound = params.shortest_path_diameter;
+    Network net(g, known, seed);
+    net.Start([](NodeId v) { return std::make_unique<CollectAllProgram>(v); });
+    const auto stats = net.Run(5000);
+    ASSERT_FALSE(stats.hit_round_limit);
+    auto& root = dynamic_cast<CollectAllProgram&>(net.ProgramAt(16));
+    std::vector<std::int64_t> ids;
+    for (const auto& item : root.collected) ids.push_back(item[0]);
+    std::sort(ids.begin(), ids.end());
+    std::vector<std::int64_t> expect;
+    for (int i = 0; i < 17; ++i) expect.push_back(i);
+    EXPECT_EQ(ids, expect) << seed;
+    // Pipelining: O(n + D) rounds, not O(n * D).
+    EXPECT_LE(stats.rounds,
+              4 * (17 + params.unweighted_diameter) + 40);
+  }
+}
+
+// Quiescence detection: the root's GlobalLastActivity converges to the true
+// last round of app traffic.
+class BurstProgram : public TreeProgramBase {
+ public:
+  explicit BurstProgram(NodeId id) : TreeProgramBase(id) {}
+  long observed_global_last = -2;
+
+ protected:
+  void OnAppRound(NodeApi& api) override {
+    if (!TreeReady()) return;
+    // Node 0 sends a burst of app messages for 3 rounds after tree-ready.
+    if (Id() == 0 && bursts_ < 3) {
+      ++bursts_;
+      api.Send(0, Message{kChApp, {1}});
+      last_burst_round_ = api.Round();
+    }
+    if (IsRoot()) {
+      observed_global_last = GlobalLastActivity();
+      const int d = api.Known().diameter_bound;
+      if (api.Round() > 6 * (d + 3) && !finished_) {
+        finished_ = true;
+        Finish();
+      }
+    }
+  }
+
+ private:
+  int bursts_ = 0;
+  long last_burst_round_ = -1;
+  bool finished_ = false;
+};
+
+TEST(QuiescenceTest, RootLearnsLastActivity) {
+  const Graph g = MakePath(9);
+  StaticKnowledge known;
+  known.n = 9;
+  known.diameter_bound = 8;
+  known.spd_bound = 8;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<BurstProgram>(v); });
+  const auto stats = net.Run(5000);
+  ASSERT_FALSE(stats.hit_round_limit);
+  auto& root = dynamic_cast<BurstProgram&>(net.ProgramAt(8));
+  // Bursts happen in rounds ~D+2..D+4 at node 0 and are received a round
+  // later at node 1; the root must have learned a value in that window.
+  EXPECT_GE(root.observed_global_last, 8 + 2);
+  EXPECT_LE(root.observed_global_last, 8 + 7);
+}
+
+TEST(CtrlBroadcastTest, OrderPreservedAndPipelined) {
+  class OrderProgram : public TreeProgramBase {
+   public:
+    explicit OrderProgram(NodeId id) : TreeProgramBase(id) {}
+    std::vector<std::int64_t> received;
+
+   protected:
+    void OnTreeReady(NodeApi& api) override {
+      (void)api;
+      if (IsRoot()) {
+        for (std::int64_t i = 0; i < 20; ++i) {
+          BroadcastCtrl(Message{kChCtrl, {100 + i}});
+        }
+        Finish();
+      }
+    }
+    void OnCtrl(NodeApi& api, const Message& msg) override {
+      (void)api;
+      if (msg.fields[0] != kCtrlFinish) received.push_back(msg.fields[0]);
+    }
+  };
+  const Graph g = MakePath(12);
+  StaticKnowledge known;
+  known.n = 12;
+  known.diameter_bound = 11;
+  known.spd_bound = 11;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<OrderProgram>(v); });
+  const auto stats = net.Run(5000);
+  ASSERT_FALSE(stats.hit_round_limit);
+  for (NodeId v = 0; v < 12; ++v) {
+    const auto& p = dynamic_cast<OrderProgram&>(net.ProgramAt(v));
+    ASSERT_EQ(p.received.size(), 20u) << "node " << v;
+    for (std::int64_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(p.received[static_cast<std::size_t>(i)], 100 + i);
+    }
+  }
+  // Pipelined: ~#items + 2D rounds, not #items * D.
+  EXPECT_LE(stats.rounds, 20 + 4 * 11 + 20);
+}
+
+}  // namespace
+}  // namespace dsf

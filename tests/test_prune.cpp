@@ -1,0 +1,82 @@
+#include "steiner/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/validate.hpp"
+
+namespace dsf {
+namespace {
+
+TEST(PruneTest, DropsDanglingBranches) {
+  const Graph g = MakePath(6);
+  const IcInstance ic = MakeIcInstance(6, {{1, 1}, {3, 1}});
+  const std::vector<EdgeId> forest{0, 1, 2, 3, 4};  // whole path
+  const auto pruned = MinimalFeasibleSubforest(g, ic, forest);
+  EXPECT_EQ(pruned, (std::vector<EdgeId>{1, 2}));  // only 1-2, 2-3
+}
+
+TEST(PruneTest, KeepsSharedTrunk) {
+  // Star; two components both need the center.
+  const Graph g = MakeStar(5);
+  const IcInstance ic = MakeIcInstance(5, {{1, 1}, {2, 1}, {3, 2}, {4, 2}});
+  const std::vector<EdgeId> all{0, 1, 2, 3};
+  const auto pruned = MinimalFeasibleSubforest(g, ic, all);
+  EXPECT_EQ(pruned.size(), 4u);
+}
+
+TEST(PruneTest, MultiTreeForest) {
+  const Graph g = MakePath(7);
+  const IcInstance ic = MakeIcInstance(7, {{0, 1}, {1, 1}, {5, 2}, {6, 2}});
+  // Forest containing both spans plus slack in the middle, but NOT edge 2
+  // (so the forest has two trees).
+  const std::vector<EdgeId> forest{0, 1, 3, 4, 5};
+  const auto pruned = MinimalFeasibleSubforest(g, ic, forest);
+  EXPECT_EQ(pruned, (std::vector<EdgeId>{0, 5}));
+}
+
+TEST(PruneTest, PrunedOutputIsMinimalFeasible) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(20, 0.2, 1, 30, rng);
+    const IcInstance ic =
+        MakeIcInstance(20, {{0, 1}, {7, 1}, {11, 2}, {15, 2}, {19, 2}});
+    // Start from a spanning tree (feasible, far from minimal).
+    const auto mst = KruskalMst(g);
+    const auto pruned = MinimalFeasibleSubforest(g, ic, mst);
+    EXPECT_TRUE(IsMinimalFeasible(g, ic, pruned)) << seed;
+  }
+}
+
+TEST(PruneTest, NoTerminalsPrunesEverything) {
+  const Graph g = MakePath(4);
+  const IcInstance ic = MakeIcInstance(4, {});
+  const auto pruned =
+      MinimalFeasibleSubforest(g, ic, std::vector<EdgeId>{0, 1, 2});
+  EXPECT_TRUE(pruned.empty());
+}
+
+TEST(PruneTest, RejectsCyclicInput) {
+  const Graph g = MakeCycle(4);
+  const IcInstance ic = MakeIcInstance(4, {{0, 1}, {2, 1}});
+  EXPECT_THROW(MinimalFeasibleSubforest(g, ic, std::vector<EdgeId>{0, 1, 2, 3}),
+               std::logic_error);
+}
+
+TEST(PruneTest, RejectsInfeasibleInput) {
+  const Graph g = MakePath(4);
+  const IcInstance ic = MakeIcInstance(4, {{0, 1}, {3, 1}});
+  EXPECT_THROW(MinimalFeasibleSubforest(g, ic, std::vector<EdgeId>{0}),
+               std::logic_error);
+}
+
+TEST(PruneTest, IdempotentOnMinimalInput) {
+  const Graph g = MakePath(5);
+  const IcInstance ic = MakeIcInstance(5, {{0, 1}, {4, 1}});
+  const std::vector<EdgeId> minimal{0, 1, 2, 3};
+  EXPECT_EQ(MinimalFeasibleSubforest(g, ic, minimal), minimal);
+}
+
+}  // namespace
+}  // namespace dsf

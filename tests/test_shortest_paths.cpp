@@ -1,0 +1,144 @@
+#include "graph/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dsf {
+namespace {
+
+Graph Diamond() {
+  // 0 -1- 1 -1- 3,  0 -3- 2 -1- 3: two 0->3 routes of weight 2 and 4.
+  return MakeGraph(4, {{0, 1, 1}, {1, 3, 1}, {0, 2, 3}, {2, 3, 1}});
+}
+
+TEST(DijkstraTest, DistancesOnDiamond) {
+  const auto t = Dijkstra(Diamond(), 0);
+  EXPECT_EQ(t.dist[0], 0);
+  EXPECT_EQ(t.dist[1], 1);
+  EXPECT_EQ(t.dist[2], 3);
+  EXPECT_EQ(t.dist[3], 2);
+}
+
+TEST(DijkstraTest, PathReconstruction) {
+  const Graph g = Diamond();
+  const auto t = Dijkstra(g, 0);
+  const auto path = t.PathTo(3);
+  ASSERT_EQ(path.size(), 2u);
+  Weight total = 0;
+  for (const EdgeId e : path) total += g.GetEdge(e).w;
+  EXPECT_EQ(total, 2);
+}
+
+TEST(DijkstraTest, UnreachableNodes) {
+  Graph g(3);
+  g.AddEdge(0, 1, 5);
+  g.Finalize();
+  const auto t = Dijkstra(g, 0);
+  EXPECT_FALSE(t.Reachable(2));
+  EXPECT_TRUE(t.Reachable(1));
+}
+
+TEST(DijkstraTest, HopsPreferFewerAmongEqualWeight) {
+  // 0-2 direct (weight 2) vs 0-1-2 (weights 1+1): equal weight, fewer hops
+  // must be preferred.
+  const Graph g = MakeGraph(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 2}});
+  const auto t = Dijkstra(g, 0);
+  EXPECT_EQ(t.dist[2], 2);
+  EXPECT_EQ(t.hops[2], 1);
+}
+
+TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SplitMix64 rng(seed);
+    const Graph g = MakeConnectedRandom(24, 0.15, 1, 30, rng);
+    const auto t = Dijkstra(g, 0);
+    // Bellman-Ford brute force.
+    std::vector<Weight> bf(static_cast<std::size_t>(g.NumNodes()), kInfWeight);
+    bf[0] = 0;
+    for (int iter = 0; iter < g.NumNodes(); ++iter) {
+      for (const auto& e : g.Edges()) {
+        const auto ui = static_cast<std::size_t>(e.u);
+        const auto vi = static_cast<std::size_t>(e.v);
+        if (bf[ui] + e.w < bf[vi]) bf[vi] = bf[ui] + e.w;
+        if (bf[vi] + e.w < bf[ui]) bf[ui] = bf[vi] + e.w;
+      }
+    }
+    EXPECT_EQ(t.dist, bf) << "seed " << seed;
+  }
+}
+
+TEST(MultiSourceDijkstraTest, VoronoiOwnership) {
+  const Graph g = MakePath(7);  // 0-1-2-3-4-5-6, unit weights
+  const std::vector<NodeId> centers{0, 6};
+  const auto v = MultiSourceDijkstra(g, centers);
+  EXPECT_EQ(v.owner[0], 0);
+  EXPECT_EQ(v.owner[1], 0);
+  EXPECT_EQ(v.owner[2], 0);
+  EXPECT_EQ(v.owner[3], 0);  // tie at distance 3 -> smaller center id
+  EXPECT_EQ(v.owner[4], 6);
+  EXPECT_EQ(v.owner[6], 6);
+  EXPECT_EQ(v.dist[3], 3);
+}
+
+TEST(MultiSourceDijkstraTest, ParentsPointTowardOwner) {
+  const Graph g = MakePath(5);
+  const std::vector<NodeId> centers{0};
+  const auto v = MultiSourceDijkstra(g, centers);
+  for (NodeId u = 1; u < 5; ++u) {
+    EXPECT_EQ(v.parent[static_cast<std::size_t>(u)], u - 1);
+  }
+}
+
+TEST(BfsTest, DepthsOnPath) {
+  const auto t = Bfs(MakePath(5, 100), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(t.depth[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(BfsTest, DisconnectedMarksMinusOne) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(2, 3, 1);
+  g.Finalize();
+  const auto t = Bfs(g, 0);
+  EXPECT_EQ(t.depth[1], 1);
+  EXPECT_EQ(t.depth[2], -1);
+  EXPECT_EQ(t.depth[3], -1);
+}
+
+TEST(ComponentsTest, CountsAndIndices) {
+  Graph g(5);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(3, 4, 1);
+  g.Finalize();
+  const auto c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_EQ(c.comp[3], c.comp[4]);
+  EXPECT_NE(c.comp[0], c.comp[2]);
+  EXPECT_NE(c.comp[0], c.comp[3]);
+}
+
+TEST(ComponentsTest, SubgraphComponents) {
+  const Graph g = MakeCycle(4);
+  const std::vector<EdgeId> subset{0, 1};  // edges 0-1, 1-2
+  const auto c = SubgraphComponents(g, subset);
+  EXPECT_EQ(c.count, 2);
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_EQ(c.comp[1], c.comp[2]);
+  EXPECT_NE(c.comp[0], c.comp[3]);
+}
+
+TEST(DistancesFromTest, MatrixShape) {
+  const Graph g = MakePath(4);
+  const std::vector<NodeId> sources{0, 3};
+  const auto d = DistancesFrom(g, sources);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0][3], 3);
+  EXPECT_EQ(d[1][0], 3);
+}
+
+}  // namespace
+}  // namespace dsf

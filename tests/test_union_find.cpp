@@ -1,0 +1,82 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace dsf {
+namespace {
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SizeOf(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3);
+  EXPECT_EQ(uf.SizeOf(0), 2);
+}
+
+TEST(UnionFindTest, UnionReturnsFalseWhenAlreadyJoined) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.SizeOf(3), 4);
+}
+
+TEST(UnionFindTest, RandomizedMatchesNaive) {
+  // Property check against a brute-force partition representation.
+  SplitMix64 rng(0xDEADBEEF);
+  const int n = 64;
+  UnionFind uf(n);
+  std::vector<int> naive(n);
+  for (int i = 0; i < n; ++i) naive[static_cast<std::size_t>(i)] = i;
+  const auto naive_union = [&](int a, int b) {
+    const int ca = naive[static_cast<std::size_t>(a)];
+    const int cb = naive[static_cast<std::size_t>(b)];
+    if (ca == cb) return;
+    for (int& c : naive) {
+      if (c == cb) c = ca;
+    }
+  };
+  for (int step = 0; step < 500; ++step) {
+    const int a = static_cast<int>(rng.NextBelow(n));
+    const int b = static_cast<int>(rng.NextBelow(n));
+    if (a == b) continue;
+    naive_union(a, b);
+    uf.Union(a, b);
+    const int x = static_cast<int>(rng.NextBelow(n));
+    const int y = static_cast<int>(rng.NextBelow(n));
+    EXPECT_EQ(uf.Connected(x, y),
+              naive[static_cast<std::size_t>(x)] ==
+                  naive[static_cast<std::size_t>(y)]);
+  }
+}
+
+TEST(UnionFindTest, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.Find(3), std::logic_error);
+  EXPECT_THROW(uf.Find(-1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dsf
