@@ -67,6 +67,8 @@ long NodeApi::LastAppActivity() const noexcept {
   return net_.nodes_[static_cast<std::size_t>(id_)].last_app_activity;
 }
 
+void NodeApi::NotePhases(long phases) { net_.stats_.phases += phases; }
+
 Network::Network(const Graph& g, StaticKnowledge known, std::uint64_t seed)
     : graph_(g), known_(known), seed_(seed) {
   DSF_CHECK(g.Finalized());

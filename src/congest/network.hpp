@@ -31,6 +31,7 @@ struct StaticKnowledge {
   int n = 0;
   int diameter_bound = 0;        // D
   int spd_bound = 0;             // s (shortest-path diameter)
+  Weight weighted_diameter_bound = 0;  // WD (randomized algorithm's levels)
   std::int64_t bandwidth_bits = 0;  // per edge per round, O(log n)
 };
 
@@ -63,6 +64,11 @@ class NodeApi {
   // than kChQuiesce/kChBfs (used by the quiescence detector), or -1.
   [[nodiscard]] long LastAppActivity() const noexcept;
 
+  // Phase accounting: the coordinator of a phased protocol (moat growing,
+  // Borůvka) reports completed algorithm phases so RunStats can expose them
+  // alongside rounds/bits.
+  void NotePhases(long phases);
+
  private:
   friend class Network;
   Network& net_;
@@ -87,6 +93,7 @@ struct RunStats {
   long cut_bits = 0;        // bits across the registered cut
   long cut_messages = 0;
   long charged_rounds = 0;  // extra rounds charged for substituted subroutines
+  long phases = 0;          // algorithm phases reported via NodeApi::NotePhases
   bool hit_round_limit = false;
 };
 

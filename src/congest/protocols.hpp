@@ -22,6 +22,7 @@
 
 #include <deque>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -81,6 +82,16 @@ class TreeProgramBase : public NodeProgram {
   [[nodiscard]] bool GloballyQuietSince(const NodeApi& api, long since) const {
     return subtree_last_activity_ <= since &&
            api.Round() > since + api.Known().diameter_bound + 2;
+  }
+
+  // Root helper: true once enough slack has passed for any traffic after the
+  // latest known activity to have been reported. For stages whose traffic is
+  // gap-free once started (floods, pipelined collections, token walks) this
+  // certifies global completion — see DESIGN.md §2 for the start-time guard
+  // the caller must add.
+  [[nodiscard]] bool GloballyQuiet(const NodeApi& api) const {
+    return api.Round() >
+           subtree_last_activity_ + api.Known().diameter_bound + 3;
   }
 
   void SendParent(NodeApi& api, Message msg) {
@@ -163,6 +174,30 @@ class CollectPipeline {
   bool own_done_ = false;
   bool done_sent_ = false;
   int children_pending_ = 0;
+};
+
+// Per-edge FIFO of keys with membership dedup, shared by the flooding
+// protocols (Bellman-Ford labels, LE-list entries) to rate-limit per-round
+// sends. The queue stores only keys; the owner supplies the payload at send
+// time, so a key that is re-improved while queued is sent with its freshest
+// value exactly once.
+class KeyedEdgeQueues {
+ public:
+  void Configure(int degree) {
+    queue_.assign(static_cast<std::size_t>(degree), {});
+    queued_.assign(static_cast<std::size_t>(degree), {});
+  }
+
+  // Enqueues `key` on every edge except `except_local` (pass -1 for none);
+  // a key already queued on an edge is not duplicated.
+  void EnqueueAll(NodeId key, int except_local);
+
+  // Pops up to `budget` distinct keys from edge `local`'s queue.
+  [[nodiscard]] std::vector<NodeId> Pop(int local, int budget);
+
+ private:
+  std::vector<std::deque<NodeId>> queue_;
+  std::vector<std::set<NodeId>> queued_;
 };
 
 // Distributed BFS-tree sanity program used by tests: builds the tree, then

@@ -1,0 +1,214 @@
+#include "dist/mst_boruvka.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "congest/protocols.hpp"
+#include "dist/runtime.hpp"
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+namespace {
+
+constexpr std::int64_t kOpPhase = 20;    // {op, phase_index}
+constexpr std::int64_t kOpRelabel = 21;  // {op, old_frag, new_frag}
+constexpr std::int64_t kOpChosen = 22;   // {op, edge_id}
+
+class BoruvkaProgram : public TreeProgramBase {
+ public:
+  explicit BoruvkaProgram(NodeId id)
+      : TreeProgramBase(id), frag_(id) {}
+
+  // Coordinator outputs (valid at the root once the run finishes).
+  std::vector<EdgeId> tree;
+  int phases = 0;
+
+ protected:
+  void OnTreeReady(NodeApi& api) override {
+    neighbor_frag_.assign(static_cast<std::size_t>(api.Degree()), kNoNode);
+    if (IsRoot()) {
+      frag_uf_ = std::make_unique<UnionFind>(api.Known().n);
+      num_fragments_ = api.Known().n;
+      if (num_fragments_ <= 1) {
+        Finish();
+      } else {
+        StartPhase(api);
+      }
+    }
+  }
+
+  void OnAppRound(NodeApi& api) override {
+    for (const auto& d : api.Inbox()) {
+      switch (d.msg.channel) {
+        case kChExchange:
+          neighbor_frag_[static_cast<std::size_t>(d.from_local)] =
+              static_cast<NodeId>(d.msg.fields[0]);
+          ++frags_received_;
+          break;
+        case kChFilter:
+          cand_pipe_.OnReceive(d.msg, IsRoot(), &cand_items_);
+          break;
+        default:
+          break;
+      }
+    }
+    if (in_phase_ && !reported_ && frags_received_ == api.Degree()) {
+      reported_ = true;
+      // Lightest outgoing edge of this node, keyed (weight, edge id).
+      Weight best_w = kInfWeight;
+      EdgeId best_e = kNoEdge;
+      NodeId best_other = kNoNode;
+      for (int i = 0; i < api.Degree(); ++i) {
+        const NodeId nf = neighbor_frag_[static_cast<std::size_t>(i)];
+        if (nf == frag_) continue;
+        const Weight w = api.EdgeWeight(i);
+        const EdgeId e = api.GlobalEdgeId(i);
+        if (std::tie(w, e) < std::tie(best_w, best_e)) {
+          best_w = w;
+          best_e = e;
+          best_other = nf;
+        }
+      }
+      if (best_e != kNoEdge) {
+        cand_pipe_.Seed({frag_, best_w, best_e, best_other});
+      }
+      cand_pipe_.MarkOwnDone();
+    }
+    if (in_phase_) {
+      cand_pipe_.Tick(api, ParentLocal(), IsRoot() ? &cand_items_ : nullptr);
+    }
+    if (IsRoot() && in_phase_ && reported_ && cand_pipe_.Complete()) {
+      FinishPhase(api);
+    }
+  }
+
+  void OnCtrl(NodeApi& api, const Message& msg) override {
+    if (msg.fields.empty()) return;
+    switch (msg.fields[0]) {
+      case kOpPhase:
+        in_phase_ = true;
+        reported_ = false;
+        frags_received_ = 0;
+        neighbor_frag_.assign(static_cast<std::size_t>(api.Degree()), kNoNode);
+        cand_pipe_ = CollectPipeline();
+        cand_pipe_.Configure(kChFilter,
+                             static_cast<int>(ChildLocals().size()));
+        for (int i = 0; i < api.Degree(); ++i) {
+          api.Send(i, Message{kChExchange, {frag_}});
+        }
+        break;
+      case kOpRelabel:
+        if (frag_ == static_cast<NodeId>(msg.fields[1])) {
+          frag_ = static_cast<NodeId>(msg.fields[2]);
+        }
+        break;
+      case kOpChosen:
+        for (int i = 0; i < api.Degree(); ++i) {
+          if (api.GlobalEdgeId(i) == static_cast<EdgeId>(msg.fields[1])) {
+            api.MarkEdge(i);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void StartPhase(NodeApi& api) {
+    (void)api;
+    ++phases;
+    cand_items_.clear();
+    BroadcastCtrl(Message{kChCtrl, {kOpPhase, phases}});
+  }
+
+  void FinishPhase(NodeApi& api) {
+    in_phase_ = false;
+    api.NotePhases(1);
+    // Per-fragment minimum, keyed (weight, edge id); reported fragment ids
+    // are canonical, and std::map iteration makes the merge order
+    // deterministic.
+    std::map<NodeId, std::tuple<Weight, EdgeId, NodeId>> best;
+    for (const auto& item : cand_items_) {
+      const auto frag = static_cast<NodeId>(item[0]);
+      const std::tuple<Weight, EdgeId, NodeId> cand{
+          item[1], static_cast<EdgeId>(item[2]), static_cast<NodeId>(item[3])};
+      auto [it, inserted] = best.try_emplace(frag, cand);
+      if (!inserted && cand < it->second) it->second = cand;
+    }
+    DSF_CHECK_MSG(!best.empty(),
+                  "no outgoing edges but multiple fragments remain — "
+                  "graph disconnected");
+    std::vector<NodeId> touched;
+    for (const auto& [frag, cand] : best) {
+      const auto& [w, e, other] = cand;
+      if (frag_uf_->Union(frag, other)) {
+        tree.push_back(e);
+        BroadcastCtrl(Message{kChCtrl, {kOpChosen, e}});
+        --num_fragments_;
+      }
+      touched.push_back(frag);
+      touched.push_back(other);
+    }
+    // New fragment id := smallest node id in the merged group (fragment ids
+    // are node ids, so the smallest member id is the group minimum).
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    std::map<int, NodeId> group_min;
+    for (const NodeId f : touched) {
+      auto [it, inserted] = group_min.try_emplace(frag_uf_->Find(f), f);
+      if (!inserted) it->second = std::min(it->second, f);
+    }
+    for (const NodeId f : touched) {
+      const NodeId fresh = group_min.at(frag_uf_->Find(f));
+      if (fresh != f) {
+        BroadcastCtrl(Message{kChCtrl, {kOpRelabel, f, fresh}});
+      }
+    }
+    if (num_fragments_ <= 1) {
+      Finish();
+    } else {
+      StartPhase(api);
+    }
+  }
+
+  NodeId frag_;
+  std::vector<NodeId> neighbor_frag_;
+  int frags_received_ = 0;
+  bool in_phase_ = false;
+  bool reported_ = false;
+  CollectPipeline cand_pipe_;
+
+  // Coordinator state.
+  std::unique_ptr<UnionFind> frag_uf_;
+  int num_fragments_ = 0;
+  std::vector<std::vector<std::int64_t>> cand_items_;
+};
+
+}  // namespace
+
+BoruvkaResult RunDistributedMst(const Graph& g, std::uint64_t seed) {
+  const StaticKnowledge known = detail::KnownOrThrow(g);
+
+  BoruvkaResult result;
+  if (g.NumNodes() <= 1) return result;
+
+  Network net(g, known, seed);
+  net.Start([](NodeId v) { return std::make_unique<BoruvkaProgram>(v); });
+  long log_n = 1;
+  while ((1L << log_n) < known.n) ++log_n;
+  const long limit =
+      4000 + 20 * (log_n + 2) * (known.n + 2L * known.diameter_bound + 8);
+  result.stats = net.Run(limit);
+  DSF_CHECK_MSG(!result.stats.hit_round_limit,
+                "distributed Borůvka exceeded the round budget");
+  auto& root = dynamic_cast<BoruvkaProgram&>(net.ProgramAt(g.NumNodes() - 1));
+  result.tree = root.tree;
+  result.phases = root.phases;
+  return result;
+}
+
+}  // namespace dsf

@@ -1,0 +1,31 @@
+// Distributed Borůvka / GHS-style minimum spanning tree.
+//
+// Baseline building block for the paper's MST specialization claims (moat
+// growing with t = n, k = 1 returns an exact MST): in each phase every node
+// exchanges its fragment identifier with its neighbors, convergecasts its
+// lightest outgoing edge — keyed by (weight, edge id), which makes the MST
+// unique and equal to Kruskal's — and the coordinator merges fragments and
+// pipelines the relabeling back down the BFS tree. Fragment counts at least
+// halve per phase, so there are at most ceil(log2 n) phases of O(D + n')
+// rounds each.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace dsf {
+
+struct BoruvkaResult {
+  std::vector<EdgeId> tree;  // the unique MST under (weight, edge id) keys
+  int phases = 0;            // Borůvka phases executed (<= ceil(log2 n))
+  RunStats stats;
+};
+
+// Runs the distributed MST protocol; disconnected graphs throw
+// std::logic_error.
+BoruvkaResult RunDistributedMst(const Graph& g, std::uint64_t seed = 1);
+
+}  // namespace dsf

@@ -1,0 +1,34 @@
+#include "dist/runtime.hpp"
+
+#include <map>
+
+#include "graph/properties.hpp"
+
+namespace dsf::detail {
+
+StaticKnowledge KnownOrThrow(const Graph& g) {
+  DSF_CHECK(g.Finalized());
+  DSF_CHECK(g.NumNodes() >= 1);
+  const GraphParameters params = ComputeParameters(g);
+  DSF_CHECK_MSG(params.connected,
+                "distributed protocols require a connected topology");
+  StaticKnowledge known;
+  known.n = g.NumNodes();
+  known.diameter_bound = params.unweighted_diameter;
+  known.spd_bound = params.shortest_path_diameter;
+  known.weighted_diameter_bound = params.weighted_diameter;
+  return known;
+}
+
+std::set<Label> SingletonLabels(
+    const std::vector<std::vector<std::int64_t>>& terminal_items) {
+  std::map<Label, int> count;
+  for (const auto& item : terminal_items) ++count[static_cast<Label>(item[1])];
+  std::set<Label> singletons;
+  for (const auto& [label, c] : count) {
+    if (c < 2) singletons.insert(label);
+  }
+  return singletons;
+}
+
+}  // namespace dsf::detail

@@ -2,8 +2,12 @@
 //
 // Used by the centralized reference algorithms (moat growing needs exact
 // terminal-terminal distances wd(v, w)) and by the analysis/validation side of
-// every experiment. The distributed algorithms do NOT call into this; they run
-// Bellman-Ford style message passing on the simulator.
+// every experiment. The distributed protocols themselves run Bellman-Ford
+// style message passing on the simulator and only reach for this code in
+// their explicitly substituted subroutines (charged via
+// Network::ChargeRounds / RunStats::charged_rounds — see DESIGN.md §4),
+// which is why the Dijkstra tie-breaking below must match the distributed
+// relaxation order exactly.
 #pragma once
 
 #include <span>

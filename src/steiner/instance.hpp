@@ -6,7 +6,8 @@
 // R_v ⊆ V; the output must connect v to every w ∈ R_v.
 //
 // Centralized reference transformations mirror Lemmas 2.3 and 2.4; the
-// distributed protocols implementing them live in src/dist/transform.*.
+// distributed protocols implementing them (RunDistributedCrToIc and
+// RunDistributedMakeMinimal) live in src/dist/transform.{hpp,cpp}.
 #pragma once
 
 #include <vector>

@@ -252,35 +252,25 @@ std::vector<int> MoatBook::MinimalMergeSubset() const {
 }
 
 // ---------------------------------------------------------------------------
-// Centralized Algorithm 1 / Algorithm 2
+// Shared selection engine (Algorithm 1 / Algorithm 2 event loop)
 // ---------------------------------------------------------------------------
 
-MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
-                                  const MoatOptions& options) {
-  DSF_CHECK(ic.NumNodes() == g.NumNodes());
+MoatSchedule ComputeMoatSchedule(std::span<const NodeId> terminals,
+                                 std::span<const Label> labels,
+                                 const std::vector<std::vector<Weight>>& dist,
+                                 const MoatOptions& options) {
   DSF_CHECK(options.epsilon >= 0.0L);
-  const IcInstance inst = MakeMinimal(ic);
-  const std::vector<NodeId> terminals = inst.Terminals();
+  DSF_CHECK(terminals.size() == labels.size());
+  DSF_CHECK(dist.size() == terminals.size());
   const int t = static_cast<int>(terminals.size());
 
-  MoatResult result;
-  if (t == 0) return result;
-
-  std::vector<Label> labels;
-  labels.reserve(static_cast<std::size_t>(t));
-  for (const NodeId v : terminals) labels.push_back(inst.LabelOf(v));
-
-  // Exact terminal-terminal distances and path trees.
-  std::vector<ShortestPathTree> trees;
-  trees.reserve(static_cast<std::size_t>(t));
-  for (const NodeId v : terminals) trees.push_back(Dijkstra(g, v));
+  MoatSchedule schedule;
+  if (t == 0) return schedule;
 
   const bool rounded = options.epsilon > 0.0L;
   MoatBook book(terminals, labels,
                 rounded ? MoatMode::kRounded : MoatMode::kExact);
 
-  UnionFind forest_uf(g.NumNodes());
-  std::vector<EdgeId> raw;
   Fixed muhat = kFixedOne;  // µ̂ := 1 (Algorithm 2 line 8)
   int phase = 0;
   int growth_phases = 0;
@@ -301,8 +291,7 @@ MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
         const bool aj = book.ActiveTerminal(j);
         if (!ai && !aj) continue;
         const Weight d =
-            trees[static_cast<std::size_t>(i)].dist[static_cast<std::size_t>(
-                terminals[static_cast<std::size_t>(j)])];
+            dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
         if (d >= kInfWeight) continue;
         const Fixed slack =
             std::max<Fixed>(0, ToFixed(d) - book.RadOf(i) - book.RadOf(j));
@@ -351,15 +340,7 @@ MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
     int iw = best_j;
     if (!book.ActiveTerminal(iv)) std::swap(iv, iw);
     const auto applied = book.GrowAndMerge(best_mu, iv, iw, phase);
-
-    // Add the least-weight path's edges, dropping those closing cycles
-    // (Algorithm 1 lines 17-19).
-    const NodeId target = terminals[static_cast<std::size_t>(best_j)];
-    for (const EdgeId e :
-         trees[static_cast<std::size_t>(best_i)].PathTo(target)) {
-      const auto& edge = g.GetEdge(e);
-      if (forest_uf.Union(edge.u, edge.v)) raw.push_back(e);
-    }
+    schedule.merge_pairs.push_back({best_i, best_j});
 
     const bool phase_boundary = rounded
                                     ? applied.involved_inactive
@@ -367,11 +348,68 @@ MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
     if (phase_boundary) ++phase;
   }
 
+  schedule.merges = book.Merges();
+  schedule.dual_sum = book.DualSum();
+  schedule.merge_phases = phase;
+  schedule.growth_phases = growth_phases;
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Centralized Algorithm 1 / Algorithm 2
+// ---------------------------------------------------------------------------
+
+MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
+                                  const MoatOptions& options) {
+  DSF_CHECK(ic.NumNodes() == g.NumNodes());
+  const IcInstance inst = MakeMinimal(ic);
+  const std::vector<NodeId> terminals = inst.Terminals();
+  const int t = static_cast<int>(terminals.size());
+
+  MoatResult result;
+  if (t == 0) return result;
+
+  std::vector<Label> labels;
+  labels.reserve(static_cast<std::size_t>(t));
+  for (const NodeId v : terminals) labels.push_back(inst.LabelOf(v));
+
+  // Exact terminal-terminal distances and path trees.
+  std::vector<ShortestPathTree> trees;
+  trees.reserve(static_cast<std::size_t>(t));
+  for (const NodeId v : terminals) trees.push_back(Dijkstra(g, v));
+
+  std::vector<std::vector<Weight>> dist(
+      static_cast<std::size_t>(t),
+      std::vector<Weight>(static_cast<std::size_t>(t), 0));
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < t; ++j) {
+      dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          trees[static_cast<std::size_t>(i)]
+              .dist[static_cast<std::size_t>(terminals[static_cast<std::size_t>(j)])];
+    }
+  }
+
+  const MoatSchedule schedule =
+      ComputeMoatSchedule(terminals, labels, dist, options);
+
+  // Materialize the merge paths: add each least-weight path's edges, dropping
+  // those closing cycles (Algorithm 1 lines 17-19).
+  UnionFind forest_uf(g.NumNodes());
+  std::vector<EdgeId> raw;
+  for (const auto& [src, dst] : schedule.merge_pairs) {
+    const NodeId target = terminals[static_cast<std::size_t>(dst)];
+    for (const EdgeId e :
+         trees[static_cast<std::size_t>(src)].PathTo(target)) {
+      const auto& edge = g.GetEdge(e);
+      if (forest_uf.Union(edge.u, edge.v)) raw.push_back(e);
+    }
+  }
+
   result.raw_forest = raw;
-  result.merges = book.Merges();
-  result.dual_sum = book.DualSum();
-  result.merge_phases = phase;
-  result.growth_phases = growth_phases;
+  result.merges = schedule.merges;
+  result.dual_sum = schedule.dual_sum;
+  result.merge_phases = schedule.merge_phases;
+  result.growth_phases = schedule.growth_phases;
   result.forest = MinimalFeasibleSubforest(g, inst, raw);
   return result;
 }

@@ -1,7 +1,9 @@
 // Moat growing (Agrawal–Klein–Ravi primal-dual), Algorithms 1 and 2 of the
-// paper (Appendix C / D), plus the shared bookkeeping (`MoatBook`) that both
-// the centralized reference and the distributed emulation use — keeping the
-// two in lockstep is what makes the equivalence tests meaningful.
+// paper (Appendix C / D), plus the shared bookkeeping (`MoatBook`) and the
+// shared event-selection engine (`ComputeMoatSchedule`) that both the
+// centralized reference and the distributed protocol in dist/det_moat.*
+// drive — keeping the two in lockstep is what makes the merge-by-merge
+// equivalence tests meaningful.
 //
 // Arithmetic: moat radii live on a fixed-point grid of 2^-12 weight units
 // (type `Fixed`). Event times of Algorithm 1 are dyadic rationals whose
@@ -162,6 +164,37 @@ struct MoatResult {
   int merge_phases = 0;    // jmax (Definition 4.3 / 4.19)
   int growth_phases = 0;   // gmax (Algorithm 2 only; 0 for Algorithm 1)
 };
+
+// ---------------------------------------------------------------------------
+// Shared selection engine.
+// ---------------------------------------------------------------------------
+
+// The full fixed-point schedule of Algorithm 1/2 given the terminal-terminal
+// distance matrix: the ordered merge log, the (i, j) pair whose least-weight
+// path realizes each merge, and the phase/checkpoint structure. This is the
+// single place the event selection, µ̂ rounding, and tie-breaking live;
+// `CentralizedMoatGrowing` drives it with Dijkstra distances, the distributed
+// coordinator of dist/det_moat.* with distances convergecast from the
+// network's Bellman-Ford labels. Merge-by-merge equality of the two
+// implementations follows by construction.
+struct MoatSchedule {
+  std::vector<MergeRecord> merges;
+  // Per merge: the (terminal-index) pair as selected, before the active-side
+  // orientation swap — path edges come from index `first`'s shortest-path
+  // tree toward index `second`'s terminal, in source-to-target order.
+  std::vector<std::pair<int, int>> merge_pairs;
+  Fixed dual_sum = 0;
+  int merge_phases = 0;   // jmax (Definition 4.3 / 4.19)
+  int growth_phases = 0;  // gmax (Algorithm 2 only; 0 for Algorithm 1)
+};
+
+// `dist[i][j]` must hold wd(terminals[i], terminals[j]) (kInfWeight when
+// unreachable). The instance described by (terminals, labels) must be
+// minimal; infeasible instances fail a DSF_CHECK.
+MoatSchedule ComputeMoatSchedule(std::span<const NodeId> terminals,
+                                 std::span<const Label> labels,
+                                 const std::vector<std::vector<Weight>>& dist,
+                                 const MoatOptions& options = {});
 
 // Runs Algorithm 1 (options.epsilon == 0) or Algorithm 2 (> 0) on a minimal
 // DSF-IC instance. Non-minimal instances are reduced via MakeMinimal first.

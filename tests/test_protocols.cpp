@@ -161,6 +161,147 @@ TEST(QuiescenceTest, RootLearnsLastActivity) {
   EXPECT_LE(root.observed_global_last, 8 + 7);
 }
 
+// Single-node graph: the node must root itself, become tree-ready without
+// any messages, and terminate.
+TEST(TreeProgramTest, SingleNodeGraph) {
+  Graph g(1);
+  g.Finalize();
+  StaticKnowledge known;
+  known.n = 1;
+  known.diameter_bound = 0;
+  known.spd_bound = 0;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<BfsProbeProgram>(v); });
+  const auto stats = net.Run(100);
+  ASSERT_FALSE(stats.hit_round_limit);
+  auto& p = dynamic_cast<BfsProbeProgram&>(net.ProgramAt(0));
+  EXPECT_EQ(p.observed_depth, 0);
+  EXPECT_EQ(p.observed_parent, 0);
+  EXPECT_TRUE(p.IsRoot());
+  EXPECT_EQ(stats.messages, 0);  // nothing to talk to
+}
+
+// Root-only delivery: on a single-node network the root's control broadcasts
+// must still arrive at itself, in FIFO order, one per round.
+TEST(CtrlBroadcastTest, RootOnlyOrdering) {
+  class SelfOrderProgram : public TreeProgramBase {
+   public:
+    explicit SelfOrderProgram(NodeId id) : TreeProgramBase(id) {}
+    std::vector<std::int64_t> received;
+
+   protected:
+    void OnTreeReady(NodeApi& api) override {
+      (void)api;
+      for (std::int64_t i = 0; i < 5; ++i) {
+        BroadcastCtrl(Message{kChCtrl, {200 + i}});
+      }
+      Finish();
+    }
+    void OnCtrl(NodeApi& api, const Message& msg) override {
+      (void)api;
+      if (msg.fields[0] != kCtrlFinish) received.push_back(msg.fields[0]);
+    }
+  };
+  Graph g(1);
+  g.Finalize();
+  StaticKnowledge known;
+  known.n = 1;
+  known.diameter_bound = 0;
+  known.spd_bound = 0;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<SelfOrderProgram>(v); });
+  const auto stats = net.Run(100);
+  ASSERT_FALSE(stats.hit_round_limit);
+  const auto& p = dynamic_cast<SelfOrderProgram&>(net.ProgramAt(0));
+  EXPECT_EQ(p.received,
+            (std::vector<std::int64_t>{200, 201, 202, 203, 204}));
+}
+
+// Quiescence detection when no application traffic ever occurs: the root
+// must observe GlobalLastActivity() == -1, GloballyQuietSince(-1) must hold
+// shortly after the tree is ready, and the run must terminate promptly.
+TEST(QuiescenceTest, NoAppTrafficEver) {
+  class SilentProgram : public TreeProgramBase {
+   public:
+    explicit SilentProgram(NodeId id) : TreeProgramBase(id) {}
+    long observed_last = -2;
+    long finish_round = -1;
+
+   protected:
+    void OnAppRound(NodeApi& api) override {
+      if (!IsRoot() || finished_) return;
+      observed_last = GlobalLastActivity();
+      if (GloballyQuietSince(api, -1)) {
+        finished_ = true;
+        finish_round = api.Round();
+        Finish();
+      }
+    }
+
+   private:
+    bool finished_ = false;
+  };
+  const Graph g = MakePath(7);
+  StaticKnowledge known;
+  known.n = 7;
+  known.diameter_bound = 6;
+  known.spd_bound = 6;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<SilentProgram>(v); });
+  const auto stats = net.Run(500);
+  ASSERT_FALSE(stats.hit_round_limit);
+  const auto& root = dynamic_cast<SilentProgram&>(net.ProgramAt(6));
+  EXPECT_EQ(root.observed_last, -1);  // detector saw no app traffic
+  // Quiet is declared right after the D + 2 slack expires, and the FINISH
+  // broadcast drains within another tree-depth worth of rounds.
+  EXPECT_GE(root.finish_round, known.diameter_bound + 2);
+  EXPECT_LE(stats.rounds, 4L * known.diameter_bound + 12);
+}
+
+// A pipeline with no seeds anywhere must still complete (DONE markers are
+// the only traffic) and deliver zero items at the root.
+TEST(CollectPipelineTest, NoItemsEverSeeded) {
+  class EmptyCollectProgram : public TreeProgramBase {
+   public:
+    explicit EmptyCollectProgram(NodeId id) : TreeProgramBase(id) {}
+    std::vector<std::vector<std::int64_t>> collected;
+
+   protected:
+    void OnTreeReady(NodeApi& api) override {
+      (void)api;
+      pipe_.Configure(kChApp, static_cast<int>(ChildLocals().size()));
+      pipe_.MarkOwnDone();
+    }
+    void OnAppRound(NodeApi& api) override {
+      for (const auto& d : api.Inbox()) {
+        if (d.msg.channel == kChApp) {
+          pipe_.OnReceive(d.msg, IsRoot(), &collected);
+        }
+      }
+      pipe_.Tick(api, ParentLocal(), IsRoot() ? &collected : nullptr);
+      if (IsRoot() && pipe_.Complete() && !finished_) {
+        finished_ = true;
+        Finish();
+      }
+    }
+
+   private:
+    CollectPipeline pipe_;
+    bool finished_ = false;
+  };
+  const Graph g = MakeStar(8);
+  StaticKnowledge known;
+  known.n = 8;
+  known.diameter_bound = 2;
+  known.spd_bound = 2;
+  Network net(g, known, 1);
+  net.Start([](NodeId v) { return std::make_unique<EmptyCollectProgram>(v); });
+  const auto stats = net.Run(200);
+  ASSERT_FALSE(stats.hit_round_limit);
+  EXPECT_TRUE(
+      dynamic_cast<EmptyCollectProgram&>(net.ProgramAt(7)).collected.empty());
+}
+
 TEST(CtrlBroadcastTest, OrderPreservedAndPipelined) {
   class OrderProgram : public TreeProgramBase {
    public:
