@@ -34,7 +34,7 @@ inline IcInstance SpreadComponents(int n, int k, SplitMix64& rng,
 }
 
 inline void ReportGraphParams(benchmark::State& state, const Graph& g) {
-  const auto p = ComputeParameters(g);
+  const auto& p = CachedParameters(g);
   state.counters["n"] = g.NumNodes();
   state.counters["m"] = g.NumEdges();
   state.counters["D"] = p.unweighted_diameter;

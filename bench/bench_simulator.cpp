@@ -1,0 +1,172 @@
+// Simulator-throughput benchmark (the tentpole metric of the hot-loop
+// rearchitecture): rounds/sec and messages/sec of Network::Step() itself,
+// across sparse and dense topologies and all scheduler configurations
+// (sequential legacy shape, active-set, thread pool). Two workload classes:
+//
+//   * Flood — every node sends on every edge every round: zero idle nodes,
+//     so this isolates the per-message path (mirror delivery, dirty-list
+//     accounting, inline message fields, buffer reuse).
+//   * DetMoat / Rand — the paper's protocols on the largest
+//     bench_rounds_vs_n configuration (n = 256 sparse): the end-to-end
+//     wall-clock the ISSUE's ≥3x acceptance criterion is stated over, where
+//     active-set scheduling additionally skips quiescent nodes.
+//
+// Pre-refactor reference numbers (same machine, RelWithDebInfo — the
+// default build type — the seed simulator at commit 89e4cf6) are recorded
+// in README.md "Performance".
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+
+namespace dsf {
+namespace {
+
+// Scheduler configurations, indexed by benchmark argument.
+NetworkOptions ConfigAt(int idx) {
+  switch (idx) {
+    case 0:
+      return NetworkOptions{/*active_set=*/false, /*threads=*/1};  // sequential
+    case 1:
+      return NetworkOptions{/*active_set=*/true, /*threads=*/1};  // active-set
+    default:
+      return NetworkOptions{/*active_set=*/true, /*threads=*/0};  // + pool
+  }
+}
+
+const char* ConfigName(int idx) {
+  switch (idx) {
+    case 0:
+      return "seq";
+    case 1:
+      return "active";
+    default:
+      return "pool";
+  }
+}
+
+// Every node sends a 3-field message on every incident edge every round for
+// a fixed horizon; no node is ever idle.
+class FloodProgram : public NodeProgram {
+ public:
+  FloodProgram(NodeId id, long horizon) : id_(id), horizon_(horizon) {}
+
+  void OnRound(NodeApi& api) override {
+    if (api.Round() >= horizon_) {
+      done_ = true;
+      return;
+    }
+    for (int i = 0; i < api.Degree(); ++i) {
+      api.Send(i, Message{kChApp, {id_, api.Round(), i}});
+    }
+  }
+  [[nodiscard]] bool Done() const override { return done_; }
+
+ private:
+  NodeId id_;
+  long horizon_;
+  bool done_ = false;
+};
+
+void RunFlood(benchmark::State& state, const Graph& g, long horizon) {
+  const int config = static_cast<int>(state.range(0));
+  long rounds = 0;
+  long messages = 0;
+  for (auto _ : state) {
+    StaticKnowledge known;
+    known.n = g.NumNodes();
+    known.diameter_bound = g.NumNodes();
+    Network net(g, known, /*seed=*/1, ConfigAt(config));
+    net.Start([&](NodeId v) {
+      return std::make_unique<FloodProgram>(v, horizon);
+    });
+    const auto stats = net.Run(horizon + 4);
+    rounds = stats.rounds;
+    messages = stats.messages;
+  }
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(messages * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(ConfigName(config));
+  state.counters["n"] = g.NumNodes();
+  state.counters["m"] = g.NumEdges();
+}
+
+void BM_FloodSparse(benchmark::State& state) {
+  SplitMix64 rng(41);
+  const Graph g = MakeConnectedRandom(512, 6.0 / 512, 1, 32, rng);
+  RunFlood(state, g, /*horizon=*/200);
+}
+BENCHMARK(BM_FloodSparse)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_FloodDense(benchmark::State& state) {
+  SplitMix64 rng(43);
+  const Graph g = MakeConnectedRandom(192, 0.4, 1, 32, rng);
+  RunFlood(state, g, /*horizon=*/200);
+}
+BENCHMARK(BM_FloodDense)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// The largest bench_rounds_vs_n configuration (E5's n = 256 sparse row):
+// end-to-end protocol wall clock. Static knowledge is warmed outside the
+// timed region — it is a granted input (footnote 2), not simulator work.
+void BM_DetMoatLargestN(benchmark::State& state) {
+  const int n = 256;
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
+  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  (void)CachedParameters(g);
+  DetMoatOptions opts;
+  opts.net = ConfigAt(static_cast<int>(state.range(0)));
+  long rounds = 0;
+  for (auto _ : state) {
+    const auto res = RunDistributedMoat(g, ic, opts, 1);
+    rounds = res.stats.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(ConfigName(static_cast<int>(state.range(0))));
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_DetMoatLargestN)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandLargestN(benchmark::State& state) {
+  const int n = 256;
+  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
+  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  (void)CachedParameters(g);
+  RandomizedOptions opts;
+  opts.net = ConfigAt(static_cast<int>(state.range(0)));
+  long rounds = 0;
+  for (auto _ : state) {
+    const auto res = RunRandomizedSteinerForest(g, ic, opts, 1);
+    rounds = res.stats.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(ConfigName(static_cast<int>(state.range(0))));
+  bench::ReportGraphParams(state, g);
+}
+BENCHMARK(BM_RandLargestN)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Records the simulator performance trajectory: runs bench_simulator (plus a
+# one-row smoke of the E5 n-sweep) with JSON output so successive commits
+# can be compared.
+#
+#   bench/run_benchmarks.sh [build_dir] [out_dir]
+#
+# Defaults: build_dir = build, out_dir = build_dir. Writes
+# BENCH_simulator.json and BENCH_smoke.json into out_dir.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR}"
+
+if [ ! -x "$BUILD_DIR/bench_simulator" ]; then
+  echo "error: $BUILD_DIR/bench_simulator not built (need Google Benchmark;" \
+       "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench_simulator" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT_DIR/BENCH_simulator.json" \
+  --benchmark_out_format=json
+
+# One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
+# the protocol path still runs under the benchmark harness.
+# (the registered name carries an /iterations:1 suffix, so no $-anchor)
+"$BUILD_DIR/bench_rounds_vs_n" \
+  --benchmark_filter='BM_DetRoundsVsN/64' \
+  --benchmark_format=json \
+  --benchmark_out="$OUT_DIR/BENCH_smoke.json" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT_DIR/BENCH_simulator.json and $OUT_DIR/BENCH_smoke.json"

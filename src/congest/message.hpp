@@ -2,18 +2,88 @@
 //
 // The CONGEST(log n) model allows each node to send, per round and per
 // incident edge, one message of O(log n) bits (Section 2 of the paper). We
-// model a message as a channel tag plus a short vector of signed integer
+// model a message as a channel tag plus a short list of signed integer
 // fields; `BitSize()` estimates the encoded width so the simulator can verify
 // and report per-edge per-round bandwidth use.
+//
+// Fields live in inline storage (`FieldList`): an O(log n)-bit message holds
+// a small constant number of machine words, so a capacity-8 array covers
+// every protocol with headroom while keeping the simulator's per-message
+// path free of heap traffic — millions of sends allocate nothing.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/ids.hpp"
 
 namespace dsf {
+
+// Fixed-capacity field storage with the std::vector surface the protocol
+// code uses (indexing, size/empty, iteration, conversions to/from
+// std::vector for long-term storage at coordinators).
+class FieldList {
+ public:
+  static constexpr std::size_t kMaxFields = 8;
+
+  FieldList() = default;
+  FieldList(std::initializer_list<std::int64_t> f) {
+    DSF_CHECK(f.size() <= kMaxFields);
+    size_ = static_cast<std::uint32_t>(f.size());
+    std::size_t i = 0;
+    for (const std::int64_t v : f) data_[i++] = v;
+  }
+  // Implicit on purpose: payloads stored as std::vector at coordinators
+  // flow back into messages (and vice versa) without call-site churn.
+  FieldList(const std::vector<std::int64_t>& v) {  // NOLINT(runtime/explicit)
+    DSF_CHECK(v.size() <= kMaxFields);
+    size_ = static_cast<std::uint32_t>(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) data_[i] = v[i];
+  }
+  operator std::vector<std::int64_t>() const {  // NOLINT(runtime/explicit)
+    return {begin(), end()};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  void clear() noexcept { size_ = 0; }
+  void push_back(std::int64_t v) {
+    DSF_CHECK(size_ < kMaxFields);
+    data_[size_++] = v;
+  }
+
+  [[nodiscard]] std::int64_t& operator[](std::size_t i) {
+    DSF_CHECK(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const std::int64_t& operator[](std::size_t i) const {
+    DSF_CHECK(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] const std::int64_t* begin() const noexcept {
+    return data_.data();
+  }
+  [[nodiscard]] const std::int64_t* end() const noexcept {
+    return data_.data() + size_;
+  }
+
+  friend bool operator==(const FieldList& a, const FieldList& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::int64_t, kMaxFields> data_{};
+  std::uint32_t size_ = 0;
+};
 
 // Channels multiplex independent sub-protocols over the same edges. The
 // simulator accounts all channels against the same physical bandwidth.
@@ -31,7 +101,7 @@ enum Channel : std::int32_t {
 
 struct Message {
   std::int32_t channel = kChApp;
-  std::vector<std::int64_t> fields;
+  FieldList fields;
 
   Message() = default;
   Message(std::int32_t ch, std::initializer_list<std::int64_t> f)

@@ -4,28 +4,105 @@
 
 namespace dsf {
 
-NodeApi::NodeApi(Network& net, NodeId id) : net_(net), id_(id) {}
+namespace detail {
 
-int NodeApi::Degree() const noexcept {
-  return net_.graph_.Degree(id_);
+RoundPool::RoundPool(int threads) : executors_(threads) {
+  // The calling thread participates in ParallelFor, so `threads` total
+  // executors means threads - 1 workers.
+  DSF_CHECK(threads >= 2);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
-NodeId NodeApi::NeighborId(int local) const {
-  const auto nb = net_.graph_.Neighbors(id_);
-  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
-  return nb[static_cast<std::size_t>(local)].neighbor;
+RoundPool::~RoundPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
 }
+
+void RoundPool::WorkerLoop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    RunChunks();
+  }
+}
+
+void RoundPool::RunChunks() {
+  for (;;) {
+    int lo = 0;
+    int hi = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= total_) return;
+      lo = next_;
+      hi = std::min(total_, lo + chunk_);
+      next_ = hi;
+    }
+    for (int i = lo; i < hi; ++i) {
+      try {
+        (*task_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    bool all_done = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ -= hi - lo;
+      all_done = pending_ == 0 && next_ >= total_;
+    }
+    if (all_done) done_cv_.notify_all();
+  }
+}
+
+void RoundPool::ParallelFor(int n, const std::function<void(int)>& task) {
+  if (n <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    total_ = n;
+    // ~4 claims per executor balances cursor contention against tail
+    // imbalance; small n still splits so every executor can participate.
+    chunk_ = std::max(1, n / (executors_ * 4));
+    next_ = 0;
+    pending_ = n;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  RunChunks();  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace detail
+
+NodeApi::NodeApi(Network& net, NodeId id)
+    : net_(net), id_(id), nb_(net.graph_.Neighbors(id)) {}
 
 Weight NodeApi::EdgeWeight(int local) const {
-  const auto nb = net_.graph_.Neighbors(id_);
-  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
-  return net_.graph_.GetEdge(nb[static_cast<std::size_t>(local)].edge).w;
-}
-
-EdgeId NodeApi::GlobalEdgeId(int local) const {
-  const auto nb = net_.graph_.Neighbors(id_);
-  DSF_CHECK(local >= 0 && local < static_cast<int>(nb.size()));
-  return nb[static_cast<std::size_t>(local)].edge;
+  DSF_CHECK(local >= 0 && local < Degree());
+  return net_.graph_.GetEdge(nb_[static_cast<std::size_t>(local)].edge).w;
 }
 
 const StaticKnowledge& NodeApi::Known() const noexcept { return net_.known_; }
@@ -55,30 +132,36 @@ void NodeApi::Send(int local, Message msg) {
 
 void NodeApi::MarkEdge(int local) {
   const EdgeId e = GlobalEdgeId(local);
-  net_.marked_[static_cast<std::size_t>(e)] = true;
+  net_.nodes_[static_cast<std::size_t>(id_)].mark_ops.emplace_back(e, true);
 }
 
 void NodeApi::UnmarkEdge(int local) {
   const EdgeId e = GlobalEdgeId(local);
-  net_.marked_[static_cast<std::size_t>(e)] = false;
+  net_.nodes_[static_cast<std::size_t>(id_)].mark_ops.emplace_back(e, false);
 }
 
 long NodeApi::LastAppActivity() const noexcept {
   return net_.nodes_[static_cast<std::size_t>(id_)].last_app_activity;
 }
 
-void NodeApi::NotePhases(long phases) { net_.stats_.phases += phases; }
+void NodeApi::NotePhases(long phases) {
+  net_.nodes_[static_cast<std::size_t>(id_)].phase_delta += phases;
+}
 
-Network::Network(const Graph& g, StaticKnowledge known, std::uint64_t seed)
-    : graph_(g), known_(known), seed_(seed) {
+Network::Network(const Graph& g, StaticKnowledge known, std::uint64_t seed,
+                 NetworkOptions options)
+    : graph_(g), known_(known), seed_(seed), options_(options) {
   DSF_CHECK(g.Finalized());
   if (known_.n == 0) known_.n = g.NumNodes();
   if (known_.bandwidth_bits == 0) {
     // Default bandwidth: c * ceil(log2 n) with a small constant, min 64 bits,
-    // matching CONGEST(log n) up to the constant hidden in O(log n).
-    int log_n = 1;
-    while ((1 << log_n) < known_.n) ++log_n;
-    known_.bandwidth_bits = std::max<std::int64_t>(64, 8L * log_n);
+    // matching CONGEST(log n) up to the constant hidden in O(log n). The
+    // shift runs in 64-bit so huge n cannot overflow a plain int.
+    std::int64_t log_n = 1;
+    while ((std::int64_t{1} << log_n) < static_cast<std::int64_t>(known_.n)) {
+      ++log_n;
+    }
+    known_.bandwidth_bits = std::max<std::int64_t>(64, 8 * log_n);
   }
   nodes_.resize(static_cast<std::size_t>(g.NumNodes()));
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
@@ -87,7 +170,29 @@ Network::Network(const Graph& g, StaticKnowledge known, std::uint64_t seed)
   }
   in_cut_.assign(static_cast<std::size_t>(g.NumEdges()), false);
   marked_.assign(static_cast<std::size_t>(g.NumEdges()), false);
+  edge_bits_.assign(static_cast<std::size_t>(g.NumEdges()) * 2, 0);
+  touched_dirs_.reserve(64);
+  receivers_.reserve(static_cast<std::size_t>(g.NumNodes()));
+
+  int threads = options_.threads;
+  if (threads == 0) {
+    // Auto: a pool only pays off when a round has enough nodes to amortize
+    // the per-round wakeup; small graphs run inline. An explicit
+    // threads >= 2 is always honored (the golden tests force the pool on).
+    if (g.NumNodes() >= detail::RoundPool::kAutoMinNodes) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = static_cast<int>(std::min(hw, 8u));
+    } else {
+      threads = 1;
+    }
+  }
+  // A pool below two executors cannot beat the inline loop.
+  if (threads >= 2 && g.NumNodes() >= 2) {
+    pool_ = std::make_unique<detail::RoundPool>(threads);
+  }
 }
+
+Network::~Network() = default;
 
 void Network::Start(const ProgramFactory& factory) {
   programs_.clear();
@@ -105,34 +210,71 @@ void Network::RegisterCut(std::span<const EdgeId> cut_edges) {
   }
 }
 
+void Network::TickNode(NodeId v) {
+  auto& st = nodes_[static_cast<std::size_t>(v)];
+  auto& program = *programs_[static_cast<std::size_t>(v)];
+  // Active-set scheduling: an idle program (empty inbox, !WantsTick) is
+  // skipped; by the WantsTick contract its OnRound would have been a no-op.
+  if (options_.active_set && st.inbox.empty() && !program.WantsTick()) return;
+  NodeApi api(*this, v);
+  program.OnRound(api);
+}
+
+void Network::ApplyDeferredEffects() {
+  // Marked-edge and phase effects are applied in node order regardless of
+  // which thread ran the node, reproducing the sequential schedule bit for
+  // bit (the §5 determinism contract).
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    auto& st = nodes_[static_cast<std::size_t>(v)];
+    if (!st.mark_ops.empty()) {
+      for (const auto& [e, on] : st.mark_ops) {
+        marked_[static_cast<std::size_t>(e)] = on;
+      }
+      st.mark_ops.clear();
+    }
+    if (st.phase_delta != 0) {
+      stats_.phases += st.phase_delta;
+      st.phase_delta = 0;
+    }
+  }
+}
+
 bool Network::Step() {
   DSF_CHECK_MSG(!programs_.empty(), "Start() must be called before Step()");
 
-  // (i) + (ii): local computation and sends.
-  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
-    NodeApi api(*this, v);
-    programs_[static_cast<std::size_t>(v)]->OnRound(api);
+  // (i) + (ii): local computation and sends. OnRound touches only the node's
+  // own NodeState (inbox read, outbox append, RNG); cross-node effects are
+  // deferred, so the loop is safe to run concurrently.
+  const int n = graph_.NumNodes();
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, [this](int v) { TickNode(static_cast<NodeId>(v)); });
+  } else {
+    for (NodeId v = 0; v < n; ++v) TickNode(v);
   }
+  ApplyDeferredEffects();
 
-  // (iii): deliver. Also account bandwidth per directed edge use.
-  // Per-edge-per-round bits, indexed by (edge, direction).
-  std::vector<long> edge_bits(static_cast<std::size_t>(graph_.NumEdges()) * 2, 0);
-  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
-    auto& st = nodes_[static_cast<std::size_t>(v)];
-    st.inbox.clear();
+  // (iii): deliver, serially in node order. Inboxes consumed this round are
+  // recycled first (capacity is retained, so the steady state allocates
+  // nothing); per-edge bandwidth accounting goes through the persistent
+  // edge_bits_ buffer and the touched-directed-edge dirty list.
+  for (const NodeId v : receivers_) {
+    nodes_[static_cast<std::size_t>(v)].inbox.clear();
   }
+  receivers_.clear();
   long delivered = 0;
-  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+  for (NodeId v = 0; v < n; ++v) {
     auto& st = nodes_[static_cast<std::size_t>(v)];
     if (st.outbox.empty()) continue;
     const auto nb = graph_.Neighbors(v);
+    const auto mirrors = graph_.MirrorLocals(v);
     for (auto& [local, msg] : st.outbox) {
       const auto& inc = nb[static_cast<std::size_t>(local)];
       const auto bits = static_cast<long>(msg.BitSize());
       const auto& e = graph_.GetEdge(inc.edge);
       const std::size_t dir_idx =
           static_cast<std::size_t>(inc.edge) * 2 + (v == e.u ? 0 : 1);
-      edge_bits[dir_idx] += bits;
+      if (edge_bits_[dir_idx] == 0) touched_dirs_.push_back(dir_idx);
+      edge_bits_[dir_idx] += bits;
       stats_.total_bits += bits;
       ++stats_.messages;
       if (in_cut_[static_cast<std::size_t>(inc.edge)]) {
@@ -146,24 +288,21 @@ bool Network::Step() {
           msg.channel != kChCtrl) {
         dst.last_app_activity = round_ + 1;
       }
-      // Locate the reverse local index lazily: receiver's incidence entry
-      // with this edge id.
-      int from_local = -1;
-      const auto rnb = graph_.Neighbors(inc.neighbor);
-      for (int i = 0; i < static_cast<int>(rnb.size()); ++i) {
-        if (rnb[static_cast<std::size_t>(i)].edge == inc.edge) {
-          from_local = i;
-          break;
-        }
-      }
+      // The receiver-side local index is the precomputed mirror of ours.
+      const int from_local =
+          static_cast<int>(mirrors[static_cast<std::size_t>(local)]);
+      if (dst.inbox.empty()) receivers_.push_back(inc.neighbor);
       dst.inbox.push_back(Delivery{from_local, v, std::move(msg)});
       ++delivered;
     }
     st.outbox.clear();
   }
-  for (const long b : edge_bits) {
-    stats_.max_bits_per_edge_round = std::max(stats_.max_bits_per_edge_round, b);
+  for (const std::size_t dir : touched_dirs_) {
+    stats_.max_bits_per_edge_round =
+        std::max(stats_.max_bits_per_edge_round, edge_bits_[dir]);
+    edge_bits_[dir] = 0;
   }
+  touched_dirs_.clear();
   in_flight_ = delivered;
   ++round_;
   stats_.rounds = round_;

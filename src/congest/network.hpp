@@ -7,12 +7,30 @@
 // start of the next round). The simulator meters bits per edge per round so
 // experiments can verify the O(log n) bandwidth discipline, and can meter a
 // registered edge cut (used by the Set-Disjointness lower-bound harness).
+//
+// The per-round path is engineered for throughput without changing a single
+// delivered bit (see DESIGN.md §2 "Simulator scheduling"):
+//   * delivery resolves the receiver-side local index through the mirror
+//     indices precomputed by Graph::Finalize() — O(1) per message,
+//   * per-edge bandwidth accounting uses a persistent buffer plus a
+//     touched-directed-edge dirty list instead of an O(m) allocation,
+//   * idle programs with empty inboxes are skipped when they report
+//     !WantsTick() (active-set scheduling),
+//   * phase (i) can run across a reusable thread pool; output-side effects
+//     (MarkEdge/UnmarkEdge, NotePhases) are deferred into per-node queues
+//     and applied serially in node order, so runs stay bit-identical to the
+//     sequential schedule (§5 reproducibility).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -35,17 +53,39 @@ struct StaticKnowledge {
   std::int64_t bandwidth_bits = 0;  // per edge per round, O(log n)
 };
 
+// Scheduler configuration. Every setting produces bit-identical runs (same
+// RunStats, same marked edges, same RNG streams); they differ only in wall
+// clock. The golden-stats regression test pins this contract.
+struct NetworkOptions {
+  // Honor NodeProgram::WantsTick(): a program reporting false is not ticked
+  // in rounds where its inbox is empty.
+  bool active_set = true;
+  // Worker threads for phase (i). 0 = auto (hardware concurrency, capped);
+  // 1 = sequential fallback (no pool). Values <= 1 run inline.
+  int threads = 0;
+};
+
 // Per-node view handed to programs each round. Local: the node knows its id,
 // its incident edges (neighbor ids + weights), and nothing else about G.
+// The incidence span is cached at construction, so the per-edge accessors
+// are branch-checked array reads.
 class NodeApi {
  public:
   NodeApi(Network& net, NodeId id);
 
   [[nodiscard]] NodeId Id() const noexcept { return id_; }
-  [[nodiscard]] int Degree() const noexcept;
-  [[nodiscard]] NodeId NeighborId(int local) const;
+  [[nodiscard]] int Degree() const noexcept {
+    return static_cast<int>(nb_.size());
+  }
+  [[nodiscard]] NodeId NeighborId(int local) const {
+    DSF_CHECK(local >= 0 && local < Degree());
+    return nb_[static_cast<std::size_t>(local)].neighbor;
+  }
   [[nodiscard]] Weight EdgeWeight(int local) const;
-  [[nodiscard]] EdgeId GlobalEdgeId(int local) const;
+  [[nodiscard]] EdgeId GlobalEdgeId(int local) const {
+    DSF_CHECK(local >= 0 && local < Degree());
+    return nb_[static_cast<std::size_t>(local)].edge;
+  }
   [[nodiscard]] const StaticKnowledge& Known() const noexcept;
   [[nodiscard]] long Round() const noexcept;
   [[nodiscard]] SplitMix64& Rng() noexcept;
@@ -57,6 +97,8 @@ class NodeApi {
   void Send(int local, Message msg);
 
   // Declares the incident edge part of the algorithm's output F. Idempotent.
+  // Applied in node order after phase (i) completes, so the effect is
+  // identical under every scheduler configuration.
   void MarkEdge(int local);
   void UnmarkEdge(int local);
 
@@ -73,6 +115,7 @@ class NodeApi {
   friend class Network;
   Network& net_;
   NodeId id_;
+  std::span<const Incidence> nb_;  // cached Neighbors(id_)
 };
 
 // Per-node behavior: a state machine invoked once per round.
@@ -83,6 +126,12 @@ class NodeProgram {
   virtual void OnRound(NodeApi& api) = 0;
   // When every program reports done and no messages are in flight, the run ends.
   [[nodiscard]] virtual bool Done() const = 0;
+  // Active-set scheduling hook: a program may return false to signal that,
+  // with an empty inbox, its OnRound would neither send a message nor change
+  // any state the run's outcome depends on; the simulator then skips the
+  // tick. Rounds where the inbox is non-empty are always ticked. Default:
+  // always tick (safe for arbitrary programs).
+  [[nodiscard]] virtual bool WantsTick() const { return true; }
 };
 
 struct RunStats {
@@ -97,11 +146,52 @@ struct RunStats {
   bool hit_round_limit = false;
 };
 
+namespace detail {
+
+// Minimal reusable thread pool for phase (i): workers pull contiguous node
+// chunks off a shared cursor. Determinism does not depend on the chunking —
+// all cross-node effects are deferred and applied in node order.
+class RoundPool {
+ public:
+  // Below this node count an auto-configured Network (threads == 0) skips
+  // the pool entirely: the per-round wakeup cost cannot be amortized.
+  static constexpr int kAutoMinNodes = 256;
+
+  explicit RoundPool(int threads);
+  ~RoundPool();
+
+  // Runs task(v) for v in [0, n); blocks until every index completed.
+  // Rethrows the first exception thrown by any task.
+  void ParallelFor(int n, const std::function<void(int)>& task);
+
+ private:
+  void WorkerLoop();
+  void RunChunks();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  int executors_ = 1;  // workers + the calling thread
+  int total_ = 0;
+  int chunk_ = 1;    // per-claim range size for the current ParallelFor
+  int next_ = 0;     // next unclaimed index (under mu_)
+  int pending_ = 0;  // indices not yet completed (under mu_)
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace detail
+
 class Network {
  public:
   using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
 
-  Network(const Graph& g, StaticKnowledge known, std::uint64_t seed);
+  Network(const Graph& g, StaticKnowledge known, std::uint64_t seed,
+          NetworkOptions options = {});
+  ~Network();
 
   // Instantiates one program per node.
   void Start(const ProgramFactory& factory);
@@ -121,6 +211,9 @@ class Network {
 
   [[nodiscard]] const Graph& GraphRef() const noexcept { return graph_; }
   [[nodiscard]] const StaticKnowledge& Known() const noexcept { return known_; }
+  [[nodiscard]] const NetworkOptions& Options() const noexcept {
+    return options_;
+  }
   [[nodiscard]] const RunStats& Stats() const noexcept { return stats_; }
   [[nodiscard]] long Round() const noexcept { return round_; }
 
@@ -138,13 +231,21 @@ class Network {
   struct NodeState {
     std::vector<Delivery> inbox;
     std::vector<std::pair<int, Message>> outbox;  // (local edge idx, msg)
+    // Deferred MarkEdge/UnmarkEdge ops, applied in node order after phase
+    // (i) so parallel execution matches the sequential schedule exactly.
+    std::vector<std::pair<EdgeId, bool>> mark_ops;
+    long phase_delta = 0;  // deferred NotePhases contributions
     std::unique_ptr<SplitMix64> rng;
     long last_app_activity = -1;
   };
 
+  void TickNode(NodeId v);
+  void ApplyDeferredEffects();
+
   const Graph& graph_;
   StaticKnowledge known_;
   std::uint64_t seed_;
+  NetworkOptions options_;
   long round_ = 0;
   RunStats stats_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
@@ -152,6 +253,12 @@ class Network {
   std::vector<bool> in_cut_;
   std::vector<bool> marked_;
   long in_flight_ = 0;
+
+  // Persistent per-round buffers (zero allocation in the steady state).
+  std::vector<long> edge_bits_;             // (edge, direction)-indexed; kept 0
+  std::vector<std::size_t> touched_dirs_;   // dirty list into edge_bits_
+  std::vector<NodeId> receivers_;           // nodes whose inbox is non-empty
+  std::unique_ptr<detail::RoundPool> pool_;  // nullptr => sequential phase (i)
 };
 
 }  // namespace dsf

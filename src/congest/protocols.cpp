@@ -170,20 +170,23 @@ void CollectPipeline::Tick(NodeApi& api, int parent_local,
 void KeyedEdgeQueues::EnqueueAll(NodeId key, int except_local) {
   for (std::size_t e = 0; e < queue_.size(); ++e) {
     if (static_cast<int>(e) == except_local) continue;
-    if (queued_[e].insert(key).second) queue_[e].push_back(key);
+    if (queued_[e].insert(key).second) {
+      queue_[e].push_back(key);
+      ++pending_;
+    }
   }
 }
 
-std::vector<NodeId> KeyedEdgeQueues::Pop(int local, int budget) {
+void KeyedEdgeQueues::PopInto(int local, int budget, std::vector<NodeId>& out) {
+  out.clear();
   auto& q = queue_[static_cast<std::size_t>(local)];
   auto& members = queued_[static_cast<std::size_t>(local)];
-  std::vector<NodeId> out;
   while (budget-- > 0 && !q.empty()) {
     out.push_back(q.front());
     members.erase(q.front());
     q.pop_front();
+    --pending_;
   }
-  return out;
 }
 
 void BfsProbeProgram::OnTreeReady(NodeApi& api) {

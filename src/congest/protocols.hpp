@@ -23,6 +23,7 @@
 #include <deque>
 #include <optional>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -40,6 +41,24 @@ class TreeProgramBase : public NodeProgram {
 
   void OnRound(NodeApi& api) final;
   [[nodiscard]] bool Done() const final { return done_; }
+
+  // Active-set scheduling (NetworkOptions::active_set): a tree program can
+  // be skipped on empty-inbox rounds once it is genuinely quiescent — the
+  // tree is built, no control messages are queued, the detector has nothing
+  // unreported, and the derived program reports AppWantsTick() false. Until
+  // the tree is ready every node ticks (the D+2 flip round is time-driven),
+  // and the root always ticks (coordinators run round-count-driven stage
+  // machines).
+  [[nodiscard]] bool WantsTick() const final {
+    if (done_) return false;
+    if (!tree_ready_ || is_root_) return true;
+    if (!ctrl_queue_.empty()) return true;
+    if (parent_local_ >= 0 &&
+        subtree_last_activity_ != reported_last_activity_) {
+      return true;
+    }
+    return AppWantsTick();
+  }
 
   // --- tree accessors (valid once TreeReady) ---
   [[nodiscard]] bool IsRoot() const noexcept { return is_root_; }
@@ -62,6 +81,12 @@ class TreeProgramBase : public NodeProgram {
     (void)api;
     (void)msg;
   }
+
+  // Active-set contract for the derived program: return false when, with an
+  // empty inbox, OnAppRound would neither send nor change outcome-relevant
+  // state (no pending pipeline payloads, no queued flood updates). Default
+  // true — derived programs opt in explicitly.
+  [[nodiscard]] virtual bool AppWantsTick() const { return true; }
 
   // Root only: queue a control message for pipelined broadcast to all nodes
   // (delivered locally too, in order).
@@ -146,9 +171,7 @@ class CollectPipeline {
   }
 
   // Adds an item originating at this node.
-  void Seed(std::vector<std::int64_t> payload) {
-    queue_.emplace_back(std::move(payload));
-  }
+  void Seed(FieldList payload) { queue_.push_back(payload); }
   // Declares that this node will seed no further items.
   void MarkOwnDone() { own_done_ = true; }
 
@@ -168,9 +191,16 @@ class CollectPipeline {
   }
   [[nodiscard]] bool DoneSent() const noexcept { return done_sent_; }
 
+  // True while the next Tick could send something: a queued payload, or the
+  // pending DONE marker. Feeds the owner's AppWantsTick.
+  [[nodiscard]] bool WantsTick() const noexcept {
+    return !queue_.empty() ||
+           (own_done_ && children_pending_ == 0 && !done_sent_);
+  }
+
  private:
   int channel_ = kChApp;
-  std::deque<std::vector<std::int64_t>> queue_;
+  std::deque<FieldList> queue_;  // inline payloads: relaying allocates nothing
   bool own_done_ = false;
   bool done_sent_ = false;
   int children_pending_ = 0;
@@ -186,18 +216,27 @@ class KeyedEdgeQueues {
   void Configure(int degree) {
     queue_.assign(static_cast<std::size_t>(degree), {});
     queued_.assign(static_cast<std::size_t>(degree), {});
+    pending_ = 0;
   }
 
   // Enqueues `key` on every edge except `except_local` (pass -1 for none);
   // a key already queued on an edge is not duplicated.
   void EnqueueAll(NodeId key, int except_local);
 
-  // Pops up to `budget` distinct keys from edge `local`'s queue.
-  [[nodiscard]] std::vector<NodeId> Pop(int local, int budget);
+  // Pops up to `budget` distinct keys from edge `local`'s queue into `out`
+  // (cleared first). Allocation-free: callers keep a scratch buffer.
+  void PopInto(int local, int budget, std::vector<NodeId>& out);
+
+  // True while any edge queue holds a key (the owner still has sends to
+  // emit). O(1): maintained as a counter across EnqueueAll/Pop.
+  [[nodiscard]] bool HasPending() const noexcept { return pending_ > 0; }
 
  private:
   std::vector<std::deque<NodeId>> queue_;
-  std::vector<std::set<NodeId>> queued_;
+  // Membership dedup per edge; only insert/erase/lookup, so the container's
+  // iteration order is irrelevant to the run.
+  std::vector<std::unordered_set<NodeId>> queued_;
+  std::size_t pending_ = 0;  // total keys across all edge queues
 };
 
 // Distributed BFS-tree sanity program used by tests: builds the tree, then

@@ -84,6 +84,14 @@ class DetMoatProgram : public TreeProgramBase {
     if (IsRoot()) DriveCoordinator(api);
   }
 
+  // Quiescent once the Bellman-Ford queues drained and no pipeline has a
+  // payload or DONE marker to push (the root keeps ticking regardless — it
+  // drives the stage machine).
+  [[nodiscard]] bool AppWantsTick() const override {
+    return bf_queues_.HasPending() || term_pipe_.WantsTick() ||
+           dist_pipe_.WantsTick() || path_pipe_.WantsTick();
+  }
+
   void OnCtrl(NodeApi& api, const Message& msg) override {
     if (msg.fields.empty()) return;
     switch (msg.fields[0]) {
@@ -144,8 +152,10 @@ class DetMoatProgram : public TreeProgramBase {
   }
 
   void TickBellman(NodeApi& api) {
+    if (!bf_queues_.HasPending()) return;
     for (int e = 0; e < api.Degree(); ++e) {
-      for (const NodeId src : bf_queues_.Pop(e, kBfPerRound)) {
+      bf_queues_.PopInto(e, kBfPerRound, pop_scratch_);
+      for (const NodeId src : pop_scratch_) {
         const BfLabel& lab = bf_.at(src);  // always the freshest label
         api.Send(e, Message{kChBellman, {src, lab.dist, lab.hops}});
       }
@@ -288,6 +298,7 @@ class DetMoatProgram : public TreeProgramBase {
 
   std::map<NodeId, BfLabel> bf_;
   KeyedEdgeQueues bf_queues_;
+  std::vector<NodeId> pop_scratch_;  // reused by TickBellman
 
   CollectPipeline term_pipe_;
   CollectPipeline dist_pipe_;
@@ -323,7 +334,7 @@ DetMoatResult RunDistributedMoat(const Graph& g, const IcInstance& ic,
   DetMoatResult result;
   if (t == 0) return result;
 
-  Network net(g, known, seed);
+  Network net(g, known, seed, options.net);
   if (!options.metered_cut.empty()) net.RegisterCut(options.metered_cut);
   net.Start([&](NodeId v) {
     return std::make_unique<DetMoatProgram>(v, ic.LabelOf(v),

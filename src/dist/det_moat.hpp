@@ -41,6 +41,9 @@ struct DetMoatOptions {
   // Edges whose traffic the simulator meters separately (lower-bound
   // harness, Section 3).
   std::vector<EdgeId> metered_cut;
+  // Simulator scheduling (active-set / threads); every setting is
+  // bit-identical, see DESIGN.md §2.
+  NetworkOptions net;
 };
 
 struct DetMoatResult {

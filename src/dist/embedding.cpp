@@ -96,8 +96,10 @@ void LeListModule::OnReceive(NodeApi& api, const Delivery& d) {
 }
 
 void LeListModule::Tick(NodeApi& api) {
+  if (!queues_.HasPending()) return;
   for (int e = 0; e < degree_; ++e) {
-    for (const NodeId node : queues_.Pop(e, kLePerRound)) {
+    queues_.PopInto(e, kLePerRound, pop_scratch_);
+    for (const NodeId node : pop_scratch_) {
       const PendingValue& value = pending_.at(node);  // freshest value
       api.Send(e, Message{kChLe,
                           {node, static_cast<std::int64_t>(value.rank_key),

@@ -96,6 +96,11 @@ class LeListModule {
   void OnReceive(NodeApi& api, const Delivery& d);
   void Tick(NodeApi& api);
 
+  // True while Tick still has queued updates to flood (active-set hook).
+  [[nodiscard]] bool HasPending() const noexcept {
+    return queues_.HasPending();
+  }
+
   [[nodiscard]] const LeList& List() const noexcept { return list_; }
 
  private:
@@ -117,6 +122,7 @@ class LeListModule {
   // list, so it cannot be read back from list_ at send time.
   KeyedEdgeQueues queues_;
   std::map<NodeId, PendingValue> pending_;
+  std::vector<NodeId> pop_scratch_;  // reused by Tick
 };
 
 // Centralized reference embedding (exact mirror of the module's fixed

@@ -85,6 +85,13 @@ class BoruvkaProgram : public TreeProgramBase {
     }
   }
 
+  // Between phases a non-root node is inert; within a phase it ticks until
+  // it has reported its candidate (fragment ids arrive via the inbox, which
+  // forces a tick anyway) and its pipeline slice has drained.
+  [[nodiscard]] bool AppWantsTick() const override {
+    return in_phase_ && (!reported_ || cand_pipe_.WantsTick());
+  }
+
   void OnCtrl(NodeApi& api, const Message& msg) override {
     if (msg.fields.empty()) return;
     switch (msg.fields[0]) {

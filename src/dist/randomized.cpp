@@ -65,6 +65,12 @@ class RandProgram : public TreeProgramBase {
     if (IsRoot()) Drive(api);
   }
 
+  // Quiescent once the LE flood queues drained and the anchor pipeline has
+  // nothing to push; token routing is inbox-driven (receipt forces a tick).
+  [[nodiscard]] bool AppWantsTick() const override {
+    return module_.HasPending() || anc_pipe_.WantsTick();
+  }
+
   void OnCtrl(NodeApi& api, const Message& msg) override {
     if (msg.fields.empty()) return;
     switch (msg.fields[0]) {
@@ -227,6 +233,7 @@ struct RepOutcome {
 RepOutcome RunPipelineOnce(const Graph& g, const StaticKnowledge& known,
                            const IcInstance& minimal, bool truncated,
                            const std::vector<EdgeId>& metered_cut,
+                           const NetworkOptions& net_opts,
                            std::uint64_t rep_seed) {
   const long n = g.NumNodes();
   const long s = known.spd_bound;
@@ -240,7 +247,7 @@ RepOutcome RunPipelineOnce(const Graph& g, const StaticKnowledge& known,
     max_hops = h;
   }
 
-  Network net(g, known, rep_seed);
+  Network net(g, known, rep_seed, net_opts);
   if (!metered_cut.empty()) net.RegisterCut(metered_cut);
   net.Start([&](NodeId v) {
     return std::make_unique<RandProgram>(v, minimal.LabelOf(v), rep_seed,
@@ -369,7 +376,7 @@ RandomizedResult RunRandomizedSteinerForest(const Graph& g,
   Weight best_weight = 0;
   for (int rep = 0; rep < options.repetitions; ++rep) {
     const auto out = RunPipelineOnce(
-        g, known, minimal, result.truncated, options.metered_cut,
+        g, known, minimal, result.truncated, options.metered_cut, options.net,
         DeriveSeed(seed, static_cast<std::uint64_t>(rep)));
     AccumulateStats(result.stats, out.stats);
     result.le_rounds += out.le_rounds;
@@ -406,7 +413,7 @@ RandomizedResult RunKhanBaseline(const Graph& g, const IcInstance& ic,
       }
     }
     const auto out =
-        RunPipelineOnce(g, known, sub, /*truncated=*/false, {},
+        RunPipelineOnce(g, known, sub, /*truncated=*/false, {}, {},
                         DeriveSeed(seed, 0x4a5 + i));
     AccumulateStats(result.stats, out.stats);
     result.le_rounds += out.le_rounds;

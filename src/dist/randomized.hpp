@@ -37,6 +37,9 @@ struct RandomizedOptions {
   bool force_full = false;
   // Edges whose traffic the simulator meters separately (Section 3 harness).
   std::vector<EdgeId> metered_cut;
+  // Simulator scheduling (active-set / threads); every setting is
+  // bit-identical, see DESIGN.md §2.
+  NetworkOptions net;
 };
 
 struct RandomizedResult {

@@ -71,6 +71,12 @@ class CrToIcProgram : public TreeProgramBase {
     }
   }
 
+  // A non-root node only relays pipeline payloads; once its slice drained
+  // it is inert until a control or pipeline message arrives.
+  [[nodiscard]] bool AppWantsTick() const override {
+    return pipe_.WantsTick();
+  }
+
   void OnCtrl(NodeApi& api, const Message& msg) override {
     (void)api;
     if (msg.fields.empty() || msg.fields[0] != kOpAssignLabel) return;
@@ -122,6 +128,11 @@ class MakeMinimalProgram : public TreeProgramBase {
       }
       Finish();
     }
+  }
+
+  // Same shape as CrToIcProgram: pure pipeline relay between broadcasts.
+  [[nodiscard]] bool AppWantsTick() const override {
+    return pipe_.WantsTick();
   }
 
   void OnCtrl(NodeApi& api, const Message& msg) override {

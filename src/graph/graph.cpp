@@ -28,11 +28,18 @@ void Graph::Finalize() {
     adj_index_[i] += adj_index_[i - 1];
   }
   adj_.resize(2 * edges_.size());
+  mirror_.resize(2 * edges_.size());
   std::vector<std::size_t> cursor(adj_index_.begin(), adj_index_.end() - 1);
   for (EdgeId id = 0; id < NumEdges(); ++id) {
     const auto& e = edges_[static_cast<std::size_t>(id)];
-    adj_[cursor[static_cast<std::size_t>(e.u)]++] = Incidence{e.v, id};
-    adj_[cursor[static_cast<std::size_t>(e.v)]++] = Incidence{e.u, id};
+    const std::size_t slot_u = cursor[static_cast<std::size_t>(e.u)]++;
+    const std::size_t slot_v = cursor[static_cast<std::size_t>(e.v)]++;
+    adj_[slot_u] = Incidence{e.v, id};
+    adj_[slot_v] = Incidence{e.u, id};
+    mirror_[slot_u] = static_cast<std::int32_t>(
+        slot_v - adj_index_[static_cast<std::size_t>(e.v)]);
+    mirror_[slot_v] = static_cast<std::int32_t>(
+        slot_u - adj_index_[static_cast<std::size_t>(e.u)]);
   }
   finalized_ = true;
 }

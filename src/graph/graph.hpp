@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +17,8 @@
 #include "common/ids.hpp"
 
 namespace dsf {
+
+struct GraphParameters;  // graph/properties.hpp
 
 struct Edge {
   NodeId u = kNoNode;
@@ -67,6 +71,19 @@ class Graph {
     return {adj_.data() + lo, adj_.data() + hi};
   }
 
+  // Mirror indices of u's incidence slots: entry i is the local index, in
+  // the adjacency list of Neighbors(u)[i].neighbor, of the same edge. Lets a
+  // simulator resolve the receiver-side local index of a delivery in O(1)
+  // instead of scanning the receiver's adjacency. Valid only after
+  // Finalize(); parallel to Neighbors(u).
+  [[nodiscard]] std::span<const std::int32_t> MirrorLocals(NodeId u) const {
+    DSF_CHECK(finalized_);
+    DSF_CHECK(u >= 0 && u < n_);
+    const auto lo = adj_index_[static_cast<std::size_t>(u)];
+    const auto hi = adj_index_[static_cast<std::size_t>(u) + 1];
+    return {mirror_.data() + lo, mirror_.data() + hi};
+  }
+
   [[nodiscard]] int Degree(NodeId u) const {
     return static_cast<int>(Neighbors(u).size());
   }
@@ -87,11 +104,19 @@ class Graph {
   [[nodiscard]] std::string Summary() const;
 
  private:
+  // Memoization hook for CachedParameters (graph/properties.cpp): a
+  // finalized graph is immutable, so its derived parameters (D, WD, s) are
+  // computed once and shared by every run on the same topology. Copies of
+  // the graph share the cache.
+  friend const GraphParameters& CachedParameters(const Graph& g);
+
   int n_ = 0;
   std::vector<Edge> edges_;
   std::vector<std::size_t> adj_index_;
   std::vector<Incidence> adj_;
+  std::vector<std::int32_t> mirror_;  // parallel to adj_: reverse local index
   bool finalized_ = false;
+  mutable std::shared_ptr<const GraphParameters> params_cache_;
 };
 
 // Convenience: builds a finalized graph from an edge list.

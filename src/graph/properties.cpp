@@ -27,6 +27,15 @@ GraphParameters ComputeParameters(const Graph& g) {
   return p;
 }
 
+const GraphParameters& CachedParameters(const Graph& g) {
+  DSF_CHECK(g.Finalized());
+  if (g.params_cache_ == nullptr) {
+    g.params_cache_ =
+        std::make_shared<const GraphParameters>(ComputeParameters(g));
+  }
+  return *g.params_cache_;
+}
+
 int UnweightedDiameter(const Graph& g) {
   int d = 0;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {

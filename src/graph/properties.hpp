@@ -20,6 +20,12 @@ struct GraphParameters {
 // instance sizes of tests/benches (n up to a few thousand).
 GraphParameters ComputeParameters(const Graph& g);
 
+// Memoized ComputeParameters for a finalized graph: computed on first call,
+// then shared by every subsequent run on the same (immutable) topology —
+// repeated protocol runs stop paying the all-pairs recomputation. Not
+// thread-safe on the first call; protocol setup is single-threaded.
+const GraphParameters& CachedParameters(const Graph& g);
+
 // D only (n BFS traversals).
 int UnweightedDiameter(const Graph& g);
 

@@ -1,0 +1,205 @@
+// Golden-stats regression tests: the simulator's bit-reproducibility
+// contract (DESIGN.md §2/§5). The pinned numbers below were captured from
+// the pre-refactor simulator (O(m)-allocation rounds, adjacency-scan
+// delivery, tick-everyone scheduling); the rearchitected hot loop — mirror
+// incidence, dirty-list accounting, active-set scheduling, parallel phase
+// (i) — must reproduce every one of them exactly, under every scheduler
+// configuration. A drift in rounds, messages, bits, or the marked-edge set
+// is a correctness bug, not a tuning artifact.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "congest/network.hpp"
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+#include "graph/generators.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+namespace {
+
+// The three scheduler configurations under test: the sequential legacy-shape
+// path, active-set scheduling, and the thread-pool path (forced to 4
+// executors so the pool machinery runs even on single-core CI).
+const NetworkOptions kSequential{/*active_set=*/false, /*threads=*/1};
+const NetworkOptions kActiveSet{/*active_set=*/true, /*threads=*/1};
+const NetworkOptions kParallel{/*active_set=*/true, /*threads=*/4};
+
+const NetworkOptions kAllConfigs[] = {kSequential, kActiveSet, kParallel};
+
+IcInstance SpreadTerminals(int n, int k, SplitMix64& rng) {
+  std::vector<std::pair<NodeId, Label>> assign;
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < 2; ++j) {
+      NodeId v = 0;
+      do {
+        v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+      } while (used[static_cast<std::size_t>(v)]);
+      used[static_cast<std::size_t>(v)] = 1;
+      assign.push_back({v, static_cast<Label>(c + 1)});
+    }
+  }
+  return MakeIcInstance(n, assign);
+}
+
+void ExpectStats(const RunStats& s, long rounds, long messages,
+                 long total_bits, long max_bits, long charged, long phases) {
+  EXPECT_EQ(s.rounds, rounds);
+  EXPECT_EQ(s.messages, messages);
+  EXPECT_EQ(s.total_bits, total_bits);
+  EXPECT_EQ(s.max_bits_per_edge_round, max_bits);
+  EXPECT_EQ(s.cut_bits, 0);
+  EXPECT_EQ(s.cut_messages, 0);
+  EXPECT_EQ(s.charged_rounds, charged);
+  EXPECT_EQ(s.phases, phases);
+  EXPECT_FALSE(s.hit_round_limit);
+}
+
+// Deterministic run: the moat-growing protocol on a fixed random topology.
+TEST(NetworkGoldenTest, DeterministicMoatPinnedUnderAllSchedulers) {
+  SplitMix64 rng(7);
+  const Graph g = MakeConnectedRandom(24, 0.2, 1, 16, rng);
+  const IcInstance ic = SpreadTerminals(24, 3, rng);
+  ASSERT_EQ(g.NumEdges(), 75);
+
+  const std::vector<EdgeId> want_raw{9, 25, 52, 50, 20, 6, 43};
+  const std::vector<EdgeId> want_forest{6, 9, 20, 25, 43, 50, 52};
+  for (const auto& net_opts : kAllConfigs) {
+    DetMoatOptions opts;
+    opts.net = net_opts;
+    const auto res = RunDistributedMoat(g, ic, opts, 5);
+    SCOPED_TRACE(testing::Message() << "active_set=" << net_opts.active_set
+                                    << " threads=" << net_opts.threads);
+    ExpectStats(res.stats, /*rounds=*/68, /*messages=*/1916,
+                /*total_bits=*/35828, /*max_bits=*/120, /*charged=*/0,
+                /*phases=*/1);
+    EXPECT_EQ(res.raw_forest, want_raw);
+    EXPECT_EQ(res.forest, want_forest);
+    EXPECT_EQ(res.dual_sum, 135168);
+    EXPECT_EQ(res.phases, 1);
+  }
+}
+
+// Randomized run: per-node RNG streams, embedding ranks, and token routing
+// must all be scheduler-independent.
+TEST(NetworkGoldenTest, RandomizedPinnedUnderAllSchedulers) {
+  SplitMix64 rng(11);
+  const Graph g = MakeConnectedRandom(20, 0.25, 1, 12, rng);
+  const IcInstance ic = SpreadTerminals(20, 2, rng);
+  ASSERT_EQ(g.NumEdges(), 52);
+
+  const std::vector<EdgeId> want_forest{1, 4, 12, 18, 20, 27, 28, 33};
+  for (const auto& net_opts : kAllConfigs) {
+    RandomizedOptions opts;
+    opts.repetitions = 1;
+    opts.net = net_opts;
+    const auto res = RunRandomizedSteinerForest(g, ic, opts, 9);
+    SCOPED_TRACE(testing::Message() << "active_set=" << net_opts.active_set
+                                    << " threads=" << net_opts.threads);
+    ExpectStats(res.stats, /*rounds=*/47, /*messages=*/816,
+                /*total_bits=*/36595, /*max_bits=*/175, /*charged=*/10,
+                /*phases=*/0);
+    EXPECT_EQ(res.forest, want_forest);
+    EXPECT_EQ(res.le_rounds, 17);
+    EXPECT_EQ(res.reduced_terminals, 0);
+  }
+}
+
+// Network-level cross-config equality with a program that exercises RNG
+// draws, marking/unmarking, and irregular sending — no protocol scaffolding
+// in the way. All three schedulers must agree field by field.
+class ChurnProgram : public NodeProgram {
+ public:
+  explicit ChurnProgram(NodeId id) : id_(id) {}
+
+  void OnRound(NodeApi& api) override {
+    if (api.Round() >= 12) {
+      done_ = true;
+      return;
+    }
+    const auto draw = api.Rng().Next();
+    const int deg = api.Degree();
+    if (deg == 0) return;
+    const int local = static_cast<int>(draw % static_cast<std::uint64_t>(deg));
+    if (draw % 3 == 0) {
+      api.Send(local, Message{kChApp, {static_cast<std::int64_t>(draw & 0xff),
+                                       id_, api.Round()}});
+    }
+    if (draw % 5 == 0) api.MarkEdge(local);
+    if (draw % 7 == 0) api.UnmarkEdge(local);
+    for (const auto& d : api.Inbox()) {
+      if (d.msg.fields[0] % 2 == 0) api.MarkEdge(d.from_local);
+    }
+  }
+  [[nodiscard]] bool Done() const override { return done_; }
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(NetworkGoldenTest, ChurnProgramAgreesAcrossSchedulers) {
+  SplitMix64 rng(21);
+  const Graph g = MakeConnectedRandom(40, 0.12, 1, 9, rng);
+  StaticKnowledge known;
+  known.n = g.NumNodes();
+  known.diameter_bound = 10;
+
+  std::vector<RunStats> stats;
+  std::vector<std::vector<EdgeId>> marked;
+  for (const auto& net_opts : kAllConfigs) {
+    Network net(g, known, /*seed=*/77, net_opts);
+    net.Start([](NodeId v) { return std::make_unique<ChurnProgram>(v); });
+    stats.push_back(net.Run(100));
+    marked.push_back(net.MarkedEdges());
+  }
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].rounds, stats[0].rounds);
+    EXPECT_EQ(stats[i].messages, stats[0].messages);
+    EXPECT_EQ(stats[i].total_bits, stats[0].total_bits);
+    EXPECT_EQ(stats[i].max_bits_per_edge_round,
+              stats[0].max_bits_per_edge_round);
+    EXPECT_EQ(marked[i], marked[0]);
+  }
+  EXPECT_GT(stats[0].messages, 0);
+  EXPECT_FALSE(marked[0].empty());
+}
+
+// The default-bandwidth computation must survive n near the int limit (it
+// used to shift a plain int past bit 30).
+TEST(NetworkGoldenTest, DefaultBandwidthSurvivesHugeN) {
+  const Graph g = MakePath(2);
+  StaticKnowledge known;
+  known.n = 2000000000;  // forces the shift loop up to bit 31
+  known.diameter_bound = 1;
+  Network net(g, known, 1);
+  EXPECT_EQ(net.Known().bandwidth_bits, 8 * 31);
+}
+
+// Mirror incidence sanity at the graph layer: every slot's mirror points
+// back at the same edge, and the mirror of the mirror is the slot itself.
+TEST(NetworkGoldenTest, MirrorLocalsAreInvolutive) {
+  SplitMix64 rng(3);
+  const Graph g = MakeConnectedRandom(30, 0.15, 1, 5, rng);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const auto nb = g.Neighbors(u);
+    const auto mirrors = g.MirrorLocals(u);
+    ASSERT_EQ(nb.size(), mirrors.size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId w = nb[i].neighbor;
+      const auto back = static_cast<std::size_t>(mirrors[i]);
+      const auto wnb = g.Neighbors(w);
+      const auto wmirrors = g.MirrorLocals(w);
+      ASSERT_LT(back, wnb.size());
+      EXPECT_EQ(wnb[back].edge, nb[i].edge);
+      EXPECT_EQ(wnb[back].neighbor, u);
+      EXPECT_EQ(static_cast<std::size_t>(wmirrors[back]), i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsf
