@@ -4,14 +4,14 @@
 // Series reported: for each ε ∈ {0, 0.1, 0.25, 0.5, 1.0}, the worst and mean
 // ratio of the algorithm's weight to the exact optimum over a batch of random
 // instances, plus the ratio against the dual lower bound Σ act·µ (Lemma C.4)
-// on larger instances where the exact solver is out of reach.
+// on larger instances where the exact solver is out of reach. Both series run
+// through the unified solver pipeline (`Solve`, DESIGN.md §3), which handles
+// the exact-reference accounting.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "dist/det_moat.hpp"
-#include "steiner/exact.hpp"
+#include "solve/solver.hpp"
 #include "steiner/moat.hpp"
-#include "steiner/validate.hpp"
 
 namespace dsf {
 namespace {
@@ -26,15 +26,13 @@ void BM_ApproxVsExact(benchmark::State& state) {
       SplitMix64 rng(seed * 37 + 5);
       const Graph g = MakeConnectedRandom(14, 0.25, 1, 16, rng);
       const IcInstance ic = bench::SpreadComponents(14, 2, rng);
-      DetMoatOptions opt;
+      SolveOptions opt;
       opt.epsilon = eps;
-      const auto res = RunDistributedMoat(g, ic, opt, seed + 1);
-      const Weight optimum = ExactSteinerForestWeight(g, ic);
-      if (optimum == 0) continue;
-      const double ratio = static_cast<double>(g.WeightOf(res.forest)) /
-                           static_cast<double>(optimum);
-      worst = std::max(worst, ratio);
-      sum += ratio;
+      opt.compute_reference = true;
+      const SolveResult res = Solve("dist-det", g, ic, opt, seed + 1);
+      if (res.reference_weight <= 0) continue;
+      worst = std::max(worst, res.approx_ratio);
+      sum += res.approx_ratio;
       ++count;
     }
     state.counters["worst_ratio"] = worst;
@@ -61,10 +59,9 @@ void BM_ApproxVsDualBound(benchmark::State& state) {
       SplitMix64 rng(seed * 13 + 1);
       const Graph g = MakeConnectedRandom(n, 0.08, 1, 64, rng);
       const IcInstance ic = bench::SpreadComponents(n, 5, rng);
-      const auto res = RunDistributedMoat(g, ic, {}, seed + 1);
-      const double ratio =
-          static_cast<double>(ToFixed(g.WeightOf(res.forest))) /
-          static_cast<double>(res.dual_sum);
+      const SolveResult res = Solve("dist-det", g, ic, {}, seed + 1);
+      const double ratio = static_cast<double>(ToFixed(res.weight)) /
+                           static_cast<double>(res.dual_lower_bound);
       worst = std::max(worst, ratio);
     }
     state.counters["worst_vs_dual"] = worst;  // must stay < 2

@@ -1,0 +1,74 @@
+// Batch-engine throughput: instances/sec and tail latency of the unified
+// solver pipeline under the round-pool fan-out (solve/batch.hpp), at 1, 4,
+// and 8 executors. The workload is a fixed matrix of deterministic,
+// randomized, and centralized requests over shared topologies — the
+// "many scenarios" serving shape of the ROADMAP. Results must be
+// bit-identical across thread counts (pinned by tests/test_batch.cpp); the
+// thread sweep differs only in wall clock. `bench/run_benchmarks.sh`
+// records this series as BENCH_batch.json.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "solve/batch.hpp"
+
+namespace dsf {
+namespace {
+
+// 48 requests over two shared topologies; mix of solver families so the
+// batch has both heavy (simulated) and light (centralized) items.
+std::vector<SolveRequest> BuildWorkload(const Graph& sparse,
+                                        const Graph& grid) {
+  std::vector<SolveRequest> requests;
+  const char* families[] = {"dist-det", "dist-rand", "gw-moat", "mst-prune"};
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    SplitMix64 rng(i * 17 + 3);
+    for (const char* family : families) {
+      SolveRequest req;
+      req.solver = family;
+      const Graph& g = (i % 2 == 0) ? sparse : grid;
+      req.graph = &g;
+      req.ic = bench::SpreadComponents(g.NumNodes(), 3, rng);
+      requests.push_back(std::move(req));
+    }
+  }
+  return requests;
+}
+
+void BM_BatchThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SplitMix64 srng(11);
+  const Graph sparse = MakeConnectedRandom(96, 0.06, 1, 32, srng);
+  SplitMix64 grng(13);
+  const Graph grid = MakeGrid(8, 8, 1, 9, grng);
+  const auto workload = BuildWorkload(sparse, grid);
+
+  BatchOptions opt;
+  opt.threads = threads;
+  opt.master_seed = 2014;
+  BatchEngine engine(opt);
+  for (auto _ : state) {
+    const auto results = engine.Run(workload);
+    benchmark::DoNotOptimize(results.data());
+  }
+  const BatchStats& stats = engine.LastStats();
+  state.counters["requests"] = stats.requests;
+  state.counters["instances_per_sec"] = stats.instances_per_sec;
+  state.counters["p50_ms"] = stats.p50_ms;
+  state.counters["p95_ms"] = stats.p95_ms;
+  state.counters["infeasible"] = stats.infeasible;  // must stay 0
+  state.counters["total_weight"] =
+      static_cast<double>(stats.total_weight);  // thread-count invariant
+}
+BENCHMARK(BM_BatchThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -1,26 +1,35 @@
 #!/usr/bin/env sh
-# Records the simulator performance trajectory: runs bench_simulator (plus a
-# one-row smoke of the E5 n-sweep) with JSON output so successive commits
-# can be compared.
+# Records the performance trajectory: runs bench_simulator and the batch-
+# engine throughput sweep (plus a one-row smoke of the E5 n-sweep) with JSON
+# output so successive commits can be compared.
 #
 #   bench/run_benchmarks.sh [build_dir] [out_dir]
 #
 # Defaults: build_dir = build, out_dir = build_dir. Writes
-# BENCH_simulator.json and BENCH_smoke.json into out_dir.
+# BENCH_simulator.json, BENCH_batch.json, and BENCH_smoke.json into out_dir.
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR}"
 
-if [ ! -x "$BUILD_DIR/bench_simulator" ]; then
-  echo "error: $BUILD_DIR/bench_simulator not built (need Google Benchmark;" \
-       "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
-  exit 1
-fi
+for bin in bench_simulator bench_batch_throughput; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "error: $BUILD_DIR/$bin not built (need Google Benchmark;" \
+         "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+    exit 1
+  fi
+done
 
 "$BUILD_DIR/bench_simulator" \
   --benchmark_format=json \
   --benchmark_out="$OUT_DIR/BENCH_simulator.json" \
+  --benchmark_out_format=json
+
+# Batch-engine throughput at 1/4/8 executors: instances/sec and p95 latency
+# of the unified solver pipeline (DESIGN.md §3).
+"$BUILD_DIR/bench_batch_throughput" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT_DIR/BENCH_batch.json" \
   --benchmark_out_format=json
 
 # One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
@@ -32,4 +41,5 @@ fi
   --benchmark_out="$OUT_DIR/BENCH_smoke.json" \
   --benchmark_out_format=json
 
-echo "wrote $OUT_DIR/BENCH_simulator.json and $OUT_DIR/BENCH_smoke.json"
+echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
+     "and $OUT_DIR/BENCH_smoke.json"

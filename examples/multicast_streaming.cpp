@@ -5,16 +5,16 @@
 // components of one Steiner Forest instance. With many groups (large k) the
 // paper's randomized algorithm (Theorem 5.2, Õ(k + min{s,√n} + D) rounds)
 // scales where per-group selection (the Khan et al. baseline, Õ(sk)) does
-// not — this example measures exactly that.
+// not — this example measures exactly that, via the `dist-rand` and
+// `dist-khan` entries of the solver registry.
 //
 //   ./examples/multicast_streaming [groups=6]
 #include <cstdio>
 #include <cstdlib>
 
-#include "dist/randomized.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
-#include "steiner/validate.hpp"
+#include "solve/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsf;
@@ -41,21 +41,18 @@ int main(int argc, char** argv) {
   std::printf("groups: k=%d, endpoints: t=%d\n\n", instance.NumComponents(),
               instance.NumTerminals());
 
-  const auto ours = RunRandomizedSteinerForest(net, instance, {}, 3);
+  const SolveResult ours = Solve("dist-rand", net, instance, {}, 3);
   std::printf("this paper (filtered single pass): %ld rounds, weight %lld\n",
-              ours.stats.rounds,
-              static_cast<long long>(net.WeightOf(ours.forest)));
+              ours.stats.rounds, static_cast<long long>(ours.weight));
 
-  const auto khan = RunKhanBaseline(net, instance, 3);
+  const SolveResult khan = Solve("dist-khan", net, instance, {}, 3);
   std::printf("Khan et al. (per-group passes):    %ld rounds, weight %lld\n",
-              khan.stats.rounds,
-              static_cast<long long>(net.WeightOf(khan.forest)));
+              khan.stats.rounds, static_cast<long long>(khan.weight));
 
   std::printf("\nspeedup in rounds: %.2fx (grows with the number of groups)\n",
               static_cast<double>(khan.stats.rounds) /
                   static_cast<double>(ours.stats.rounds));
-  const bool ok = IsFeasible(net, instance, ours.forest) &&
-                  IsFeasible(net, instance, khan.forest);
+  const bool ok = ours.feasible && khan.feasible;
   std::printf("all groups connected: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

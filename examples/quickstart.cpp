@@ -1,17 +1,14 @@
 // Quickstart: build a small weighted network, declare two groups of terminals
-// (input components), and solve Distributed Steiner Forest with both of the
-// paper's algorithms — the deterministic (2+ε)-approximation of Section 4 and
-// the randomized O(log n)-approximation of Section 5 — on the CONGEST
-// simulator. Compares against the exact optimum.
+// (input components), and solve Distributed Steiner Forest through the
+// unified solver registry — the deterministic (2+ε)-approximation of
+// Section 4, the randomized O(log n)-approximation of Section 5, and the
+// exact reference, all through one `Solve` call each.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "dist/det_moat.hpp"
 #include "graph/generators.hpp"
-#include "dist/randomized.hpp"
-#include "steiner/exact.hpp"
-#include "steiner/validate.hpp"
+#include "solve/solver.hpp"
 
 int main() {
   using namespace dsf;
@@ -35,25 +32,20 @@ int main() {
   std::printf("components: k=%d, terminals: t=%d\n\n",
               instance.NumComponents(), instance.NumTerminals());
 
-  // --- deterministic distributed moat growing (Theorem 4.17) ---
-  const auto det = RunDistributedMoat(g, instance);
-  std::printf("deterministic  : weight=%lld  rounds=%ld  phases=%d  feasible=%s\n",
-              static_cast<long long>(g.WeightOf(det.forest)), det.stats.rounds,
-              det.phases, IsFeasible(g, instance, det.forest) ? "yes" : "no");
+  // One pipeline per algorithm family; the registry knows them all by name.
+  SolveOptions opt;
+  opt.repetitions = 3;  // dist-rand amplification; others ignore it
+  opt.compute_reference = true;
+  SolveResult det;
+  for (const char* name : {"dist-det", "dist-rand", "exact"}) {
+    const SolveResult res = Solve(name, g, instance, opt, /*seed=*/1);
+    std::printf("%-9s: weight=%lld  rounds=%ld  ratio=%.3f  feasible=%s\n",
+                name, static_cast<long long>(res.weight), res.stats.rounds,
+                res.approx_ratio, res.feasible ? "yes" : "no");
+    if (res.solver == "dist-det") det = res;
+  }
 
-  // --- randomized tree-embedding algorithm (Theorem 5.2) ---
-  RandomizedOptions ropt;
-  ropt.repetitions = 3;
-  const auto rnd = RunRandomizedSteinerForest(g, instance, ropt, /*seed=*/1);
-  std::printf("randomized     : weight=%lld  rounds=%ld  feasible=%s\n",
-              static_cast<long long>(g.WeightOf(rnd.forest)), rnd.stats.rounds,
-              IsFeasible(g, instance, rnd.forest) ? "yes" : "no");
-
-  // --- ground truth ---
-  const Weight opt = ExactSteinerForestWeight(g, instance);
-  std::printf("exact optimum  : weight=%lld\n\n", static_cast<long long>(opt));
-
-  std::printf("selected edges (deterministic):");
+  std::printf("\nselected edges (dist-det):");
   for (const EdgeId e : det.forest) {
     const auto& edge = g.GetEdge(e);
     std::printf("  %d-%d(w%lld)", edge.u, edge.v, static_cast<long long>(edge.w));

@@ -4,21 +4,20 @@
 // each need their own set of cities connected, and operators may share
 // track (that is precisely Steiner Forest: shared edges are paid once).
 //
-// Compares three plans:
+// Compares four plans, all through the solver registry:
 //   * per-operator shortest-path trees (naive, no sharing awareness),
-//   * the deterministic moat-growing plan (factor 2, Theorem 4.17),
-//   * the randomized plan (factor O(log n), Theorem 5.2),
+//   * the MST-prune baseline (`mst-prune`),
+//   * the deterministic moat-growing plan (`dist-det`, Theorem 4.17),
+//   * the randomized plan (`dist-rand`, Theorem 5.2),
 // and reports how much track each lays.
 //
 //   ./examples/railroad_design [cities=50]
 #include <cstdio>
 #include <cstdlib>
 
-#include "dist/det_moat.hpp"
 #include "graph/generators.hpp"
-#include "dist/randomized.hpp"
-#include "graph/properties.hpp"
 #include "graph/shortest_paths.hpp"
+#include "solve/solver.hpp"
 #include "steiner/validate.hpp"
 
 int main(int argc, char** argv) {
@@ -62,24 +61,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto det = RunDistributedMoat(terrain, instance);
-  RandomizedOptions ropt;
-  ropt.repetitions = 3;
-  const auto rnd = RunRandomizedSteinerForest(terrain, instance, ropt, 7);
-
   std::printf("\n%-34s %12s %10s\n", "plan", "track cost", "rounds");
   std::printf("%-34s %12lld %10s\n", "naive shortest-path trees",
               static_cast<long long>(terrain.WeightOf(naive)), "-");
-  std::printf("%-34s %12lld %10ld\n", "moat growing (det, factor 2)",
-              static_cast<long long>(terrain.WeightOf(det.forest)),
-              det.stats.rounds);
-  std::printf("%-34s %12lld %10ld\n", "tree embedding (rand, O(log n))",
-              static_cast<long long>(terrain.WeightOf(rnd.forest)),
-              rnd.stats.rounds);
 
-  const bool ok = IsFeasible(terrain, instance, naive) &&
-                  IsFeasible(terrain, instance, det.forest) &&
-                  IsFeasible(terrain, instance, rnd.forest);
+  SolveOptions opt;
+  opt.repetitions = 3;  // dist-rand amplification
+  bool ok = IsFeasible(terrain, instance, naive);
+  const struct { const char* solver; const char* caption; } plans[] = {
+      {"mst-prune", "pruned MST baseline"},
+      {"dist-det", "moat growing (det, factor 2)"},
+      {"dist-rand", "tree embedding (rand, O(log n))"},
+  };
+  for (const auto& plan : plans) {
+    const SolveResult res = Solve(plan.solver, terrain, instance, opt, 7);
+    if (SolverRegistry::Get(plan.solver).Distributed()) {
+      std::printf("%-34s %12lld %10ld\n", plan.caption,
+                  static_cast<long long>(res.weight), res.stats.rounds);
+    } else {
+      std::printf("%-34s %12lld %10s\n", plan.caption,
+                  static_cast<long long>(res.weight), "-");
+    }
+    ok = ok && res.feasible;
+  }
+
   std::printf("\nall operators' cities connected in every plan: %s\n",
               ok ? "yes" : "NO");
   return ok ? 0 : 1;

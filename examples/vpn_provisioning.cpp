@@ -1,11 +1,14 @@
-// VPN provisioning — the paper's "virtual network" motivation.
+// VPN provisioning — the paper's "virtual network" motivation, and the
+// CR-instance end-to-end path of the solver pipeline.
 //
 // An ISP backbone (random geometric graph: routers + link costs ~ distance)
 // receives VPN orders as *connection requests*: customer site u must reach
-// site w (problem DSF-CR, Definition 2.1). The pipeline mirrors the paper:
+// site w (problem DSF-CR, Definition 2.1). A single `Solve` call on a CR
+// request runs the whole pipeline:
 //
 //  1. Lemma 2.3: the distributed CR -> IC transformation turns pairwise
-//     requests into input components in O(t + D) rounds.
+//     requests into input components in O(t + D) rounds
+//     (SolveResult::transform_rounds).
 //  2. Theorem 4.17: deterministic distributed moat growing reserves a
 //     2-approximate minimum-cost edge set connecting every VPN.
 //
@@ -13,10 +16,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "dist/det_moat.hpp"
 #include "graph/generators.hpp"
-#include "dist/transform.hpp"
 #include "graph/properties.hpp"
+#include "solve/solver.hpp"
 #include "steiner/validate.hpp"
 
 int main(int argc, char** argv) {
@@ -44,18 +46,17 @@ int main(int argc, char** argv) {
   std::printf("VPN orders: %d requests over %d sites\n", requests.NumRequests() / 2,
               requests.NumTerminals());
 
-  // Stage 1: distributed CR -> IC (Lemma 2.3).
-  const auto xform = RunDistributedCrToIc(backbone, requests);
-  std::printf("CR->IC transform: %ld rounds, %d components (Lemma 2.3: O(t+D))\n",
-              xform.stats.rounds, xform.instance.NumComponents());
-
-  // Stage 2: deterministic Steiner forest (Theorem 4.17).
-  const auto res = RunDistributedMoat(backbone, xform.instance);
-  const bool ok = IsFeasibleCr(backbone, requests, res.forest);
+  // The pipeline: distributed CR -> IC transform, MakeMinimal, moat growing,
+  // pruning, validation — one call.
+  const SolveResult res = Solve("dist-det", backbone, requests);
+  std::printf("CR->IC transform: %ld rounds (Lemma 2.3: O(t+D))\n",
+              res.transform_rounds);
+  const bool ok = res.feasible && IsFeasibleCr(backbone, requests, res.forest);
   std::printf("provisioned edge set: weight=%lld over %zu links, "
               "%ld rounds, every order satisfied: %s\n",
-              static_cast<long long>(backbone.WeightOf(res.forest)),
-              res.forest.size(), res.stats.rounds, ok ? "yes" : "NO");
-  std::printf("dual lower bound says cost <= 2x optimal (Theorem 4.1)\n");
+              static_cast<long long>(res.weight), res.forest.size(),
+              res.stats.rounds, ok ? "yes" : "NO");
+  std::printf("dual lower bound %.1f says cost <= 2x optimal (Theorem 4.1)\n",
+              static_cast<double>(FixedToReal(res.dual_lower_bound)));
   return ok ? 0 : 1;
 }

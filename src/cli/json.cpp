@@ -1,0 +1,125 @@
+#include "cli/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace dsf {
+
+namespace {
+
+void WriteEscaped(std::ostream& out, std::string_view value) {
+  out << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    DSF_CHECK_MSG(!opened_root_, "JSON document already complete");
+    opened_root_ = true;
+    return;
+  }
+  if (stack_.back() == '{') {
+    DSF_CHECK_MSG(key_pending_, "object member needs Key() first");
+    key_pending_ = false;
+  } else {
+    if (has_member_.back()) out_ << ',';
+    has_member_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  stack_.push_back('{');
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  DSF_CHECK(!stack_.empty() && stack_.back() == '{' && !key_pending_);
+  stack_.pop_back();
+  has_member_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  stack_.push_back('[');
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  DSF_CHECK(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  has_member_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  DSF_CHECK(!stack_.empty() && stack_.back() == '{' && !key_pending_);
+  if (has_member_.back()) out_ << ',';
+  has_member_.back() = true;
+  WriteEscaped(out_, key);
+  out_ << ':';
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  WriteEscaped(out_, value);
+}
+
+void JsonWriter::Int(long long value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out_ << buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+}
+
+}  // namespace dsf

@@ -1,0 +1,52 @@
+// Minimal JSON emitter for the `dsf` CLI (no third-party dependency). The
+// writer tracks the container stack and comma state, so callers only name
+// keys and values; strings are escaped per RFC 8259, non-finite doubles are
+// emitted as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace dsf {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  // Containers. The root container is opened by the first Begin* call.
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Introduces the next member of the enclosing object; follow with a value
+  // or a Begin* call.
+  void Key(std::string_view key);
+
+  // Values (array elements or the value of the pending Key).
+  void String(std::string_view value);
+  void Int(long long value);
+  void UInt(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // True once the root container has closed (the document is complete).
+  [[nodiscard]] bool Done() const noexcept {
+    return opened_root_ && stack_.empty();
+  }
+
+ private:
+  void BeforeValue();
+
+  std::ostream& out_;
+  // One frame per open container: whether it already holds a member.
+  std::vector<bool> has_member_;
+  std::vector<char> stack_;  // '{' or '['
+  bool key_pending_ = false;
+  bool opened_root_ = false;
+};
+
+}  // namespace dsf

@@ -1,0 +1,420 @@
+// `dsf` — command-line front end of the solver engine (DESIGN.md §3).
+//
+// Loads a scenario file (cli/scenario.hpp: one graph + named IC/CR
+// instances), builds the instance × solver request matrix, executes it on
+// the BatchEngine, and emits one JSON document with per-request results and
+// batch aggregates. Exit status is 0 iff every output was feasible.
+//
+//   dsf --scenario FILE [--solvers all|name,name,...] [--seed N]
+//       [--threads N] [--epsilon X] [--repetitions N] [--reference]
+//       [--no-prune] [--json FILE]
+//   dsf --list-solvers
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "cli/scenario.hpp"
+#include "solve/batch.hpp"
+#include "solve/solver.hpp"
+#include "steiner/exact.hpp"
+
+namespace dsf {
+namespace {
+
+struct CliArgs {
+  std::string scenario_path;
+  std::vector<std::string> solvers;  // empty => all registered
+  std::uint64_t seed = 1;
+  int threads = 1;
+  Real epsilon = 0.0L;
+  int repetitions = 1;
+  bool reference = false;
+  bool prune = true;
+  std::string json_path;  // empty => stdout
+  bool list_solvers = false;
+  bool help = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dsf --scenario FILE [options]\n"
+               "       dsf --list-solvers\n"
+               "\n"
+               "options:\n"
+               "  --scenario FILE     scenario file (graph + ic/cr instances)\n"
+               "  --solvers LIST      comma-separated solver names, or 'all'"
+               " (default)\n"
+               "  --seed N            master seed; request i uses"
+               " DeriveSeed(N, i); 0 keeps\n"
+               "                      every request's default seed\n"
+               "  --threads N         batch executors (0 = hardware"
+               " concurrency)\n"
+               "  --epsilon X         Algorithm 2 epsilon for the moat"
+               " solvers\n"
+               "  --repetitions N     dist-rand repetitions\n"
+               "  --reference         also solve exactly, report ratios"
+               " (small instances)\n"
+               "  --no-prune          skip minimal-subforest pruning\n"
+               "  --json FILE         write the JSON document to FILE"
+               " (default stdout)\n"
+               "  --list-solvers      print the registry and exit\n");
+}
+
+// Strict numeric parsing: trailing garbage and overflow are usage errors,
+// not silently-zero values (atoi("x2") == 0 would flip semantics).
+bool ParseI64(const char* flag, const char* v, long long& out,
+              std::string& error) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    error = std::string("invalid value for ") + flag + ": '" + v + "'";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool ParseU64(const char* flag, const char* v, std::uint64_t& out,
+              std::string& error) {
+  char* end = nullptr;
+  errno = 0;
+  if (v[0] == '-') {
+    error = std::string("invalid value for ") + flag + ": '" + v + "'";
+    return false;
+  }
+  const unsigned long long value = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    error = std::string("invalid value for ") + flag + ": '" + v + "'";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool ParseReal(const char* flag, const char* v, Real& out,
+               std::string& error) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    error = std::string("invalid value for ") + flag + ": '" + v + "'";
+    return false;
+  }
+  out = static_cast<Real>(value);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      error = std::string("missing value for ") + argv[i];
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      args.help = true;
+    } else if (flag == "--list-solvers") {
+      args.list_solvers = true;
+    } else if (flag == "--scenario") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      args.scenario_path = v;
+    } else if (flag == "--solvers") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (std::strcmp(v, "all") != 0) {
+        std::istringstream names(v);
+        std::string name;
+        while (std::getline(names, name, ',')) {
+          if (!name.empty()) args.solvers.push_back(name);
+        }
+      }
+    } else if (flag == "--seed") {
+      const char* v = need_value(i);
+      if (!v || !ParseU64("--seed", v, args.seed, error)) return false;
+    } else if (flag == "--threads") {
+      const char* v = need_value(i);
+      long long threads = 0;
+      if (!v || !ParseI64("--threads", v, threads, error)) return false;
+      if (threads < 0 || threads > 1024) {
+        error = "--threads must be in [0, 1024]";
+        return false;
+      }
+      args.threads = static_cast<int>(threads);
+    } else if (flag == "--epsilon") {
+      const char* v = need_value(i);
+      if (!v || !ParseReal("--epsilon", v, args.epsilon, error)) return false;
+      if (args.epsilon < 0.0L) {
+        error = "--epsilon must be >= 0";
+        return false;
+      }
+    } else if (flag == "--repetitions") {
+      const char* v = need_value(i);
+      long long reps = 0;
+      if (!v || !ParseI64("--repetitions", v, reps, error)) return false;
+      if (reps < 1 || reps > 1 << 20) {
+        error = "--repetitions must be in [1, 1048576]";
+        return false;
+      }
+      args.repetitions = static_cast<int>(reps);
+    } else if (flag == "--reference") {
+      args.reference = true;
+    } else if (flag == "--no-prune") {
+      args.prune = false;
+    } else if (flag == "--json") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      args.json_path = v;
+    } else {
+      error = "unknown flag: " + flag;
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteResult(JsonWriter& json, const ScenarioInstance& inst,
+                 const SolveResult& r) {
+  json.BeginObject();
+  json.Key("solver");
+  json.String(r.solver);
+  json.Key("instance");
+  json.String(inst.name);
+  json.Key("input");
+  json.String(inst.use_cr ? "cr" : "ic");
+  json.Key("weight");
+  json.Int(static_cast<long long>(r.weight));
+  json.Key("feasible");
+  json.Bool(r.feasible);
+  json.Key("edges");
+  json.BeginArray();
+  for (const EdgeId e : r.forest) json.Int(e);
+  json.EndArray();
+  // kInfWeight marks an unreachable reference (unsatisfiable instance);
+  // emitting the sentinel as a number would be garbage.
+  if (r.reference_weight >= 0 && r.reference_weight < kInfWeight) {
+    json.Key("reference_weight");
+    json.Int(static_cast<long long>(r.reference_weight));
+    json.Key("approx_ratio");
+    json.Double(r.approx_ratio);
+  }
+  if (r.dual_lower_bound > 0) {
+    json.Key("dual_lower_bound");
+    json.Double(FixedToReal(r.dual_lower_bound));
+  }
+  json.Key("rounds");
+  json.Int(r.stats.rounds);
+  json.Key("charged_rounds");
+  json.Int(r.stats.charged_rounds);
+  json.Key("messages");
+  json.Int(r.stats.messages);
+  json.Key("total_bits");
+  json.Int(r.stats.total_bits);
+  if (inst.use_cr) {
+    json.Key("transform_rounds");
+    json.Int(r.transform_rounds);
+    json.Key("transform_messages");
+    json.Int(r.transform_messages);
+    json.Key("transform_bits");
+    json.Int(r.transform_bits);
+  }
+  json.Key("wall_ms");
+  json.Double(r.wall_ms);
+  json.EndObject();
+}
+
+int RunCli(const CliArgs& args) {
+  const Scenario scenario = LoadScenario(args.scenario_path);
+
+  std::vector<std::string> solver_names = args.solvers;
+  if (solver_names.empty()) {
+    for (const auto name : SolverRegistry::Names()) {
+      solver_names.emplace_back(name);
+    }
+  }
+  for (const auto& name : solver_names) {
+    (void)SolverRegistry::Get(name);  // fail fast (lists the known names)
+  }
+
+  // Request matrix: every instance under every selected solver. The exact
+  // reference is NOT computed inside the pipeline here — it depends only on
+  // the instance, so it is solved once per instance below instead of once
+  // per (instance, solver) pair.
+  std::vector<SolveRequest> requests;
+  std::vector<const ScenarioInstance*> request_instance;
+  for (const auto& name : solver_names) {
+    for (const auto& inst : scenario.instances) {
+      SolveRequest req;
+      req.solver = name;
+      req.graph = &scenario.graph;
+      req.use_cr = inst.use_cr;
+      if (inst.use_cr) {
+        req.cr = inst.cr;
+      } else {
+        req.ic = inst.ic;
+      }
+      req.options.epsilon = args.epsilon;
+      req.options.repetitions = args.repetitions;
+      req.options.prune = args.prune;
+      req.options.validate = true;
+      requests.push_back(std::move(req));
+      request_instance.push_back(&inst);
+    }
+  }
+
+  BatchOptions bopt;
+  bopt.threads = args.threads;
+  bopt.master_seed = args.seed;
+  BatchEngine engine(bopt);
+  std::vector<SolveResult> results = engine.Run(requests);
+  const BatchStats& stats = engine.LastStats();
+
+  if (args.reference) {
+    std::vector<Weight> reference;
+    reference.reserve(scenario.instances.size());
+    for (const auto& inst : scenario.instances) {
+      reference.push_back(ExactSteinerForestWeight(
+          scenario.graph, inst.use_cr ? CrToIc(inst.cr) : inst.ic));
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto inst_idx = static_cast<std::size_t>(
+          request_instance[i] - scenario.instances.data());
+      SolveResult& r = results[i];
+      r.reference_weight = reference[inst_idx];
+      if (r.reference_weight > 0 && r.reference_weight < kInfWeight) {
+        r.approx_ratio = static_cast<double>(r.weight) /
+                         static_cast<double>(r.reference_weight);
+      } else if (r.reference_weight == 0 && r.weight == 0) {
+        r.approx_ratio = 1.0;
+      }
+    }
+  }
+
+  std::ofstream file;
+  if (!args.json_path.empty()) {
+    file.open(args.json_path);
+    if (!file) {
+      std::fprintf(stderr, "dsf: cannot write %s\n", args.json_path.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = args.json_path.empty() ? std::cout : file;
+
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("scenario");
+  json.String(args.scenario_path);
+  json.Key("graph");
+  json.BeginObject();
+  json.Key("n");
+  json.Int(scenario.graph.NumNodes());
+  json.Key("m");
+  json.Int(scenario.graph.NumEdges());
+  json.Key("total_weight");
+  json.Int(static_cast<long long>(scenario.graph.TotalWeight()));
+  json.EndObject();
+  json.Key("seed");
+  json.UInt(args.seed);
+  json.Key("solvers");
+  json.BeginArray();
+  for (const auto& name : solver_names) json.String(name);
+  json.EndArray();
+  json.Key("results");
+  json.BeginArray();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    WriteResult(json, *request_instance[i], results[i]);
+  }
+  json.EndArray();
+  json.Key("batch");
+  json.BeginObject();
+  json.Key("requests");
+  json.Int(stats.requests);
+  json.Key("threads");
+  json.Int(engine.Threads());
+  json.Key("infeasible");
+  json.Int(stats.infeasible);
+  json.Key("wall_ms");
+  json.Double(stats.wall_ms);
+  json.Key("instances_per_sec");
+  json.Double(stats.instances_per_sec);
+  json.Key("p50_ms");
+  json.Double(stats.p50_ms);
+  json.Key("p95_ms");
+  json.Double(stats.p95_ms);
+  json.EndObject();
+  json.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "dsf: error writing JSON output%s%s\n",
+                 args.json_path.empty() ? "" : " to ",
+                 args.json_path.c_str());
+    return 2;
+  }
+
+  if (!args.json_path.empty()) {
+    std::printf("%-10s  %-12s %-5s %10s %8s %9s %8s\n", "solver", "instance",
+                "input", "weight", "ok", "rounds", "wall_ms");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::printf("%-10s  %-12s %-5s %10lld %8s %9ld %8.2f\n",
+                  r.solver.c_str(), request_instance[i]->name.c_str(),
+                  request_instance[i]->use_cr ? "cr" : "ic",
+                  static_cast<long long>(r.weight),
+                  r.feasible ? "yes" : "NO", r.stats.rounds, r.wall_ms);
+    }
+    std::printf("batch: %d requests, %d threads, %.1f inst/s, p50 %.2f ms, "
+                "p95 %.2f ms -> %s\n",
+                stats.requests, engine.Threads(), stats.instances_per_sec,
+                stats.p50_ms, stats.p95_ms, args.json_path.c_str());
+  }
+  return stats.infeasible == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dsf
+
+int main(int argc, char** argv) {
+  dsf::CliArgs args;
+  std::string error;
+  if (!dsf::ParseArgs(argc, argv, args, error)) {
+    std::fprintf(stderr, "dsf: %s\n", error.c_str());
+    dsf::PrintUsage(stderr);
+    return 2;
+  }
+  if (args.help) {
+    dsf::PrintUsage(stdout);
+    return 0;
+  }
+  if (args.list_solvers) {
+    for (const auto name : dsf::SolverRegistry::Names()) {
+      const dsf::Solver& s = dsf::SolverRegistry::Get(name);
+      std::printf("%-10s %s %s\n", std::string(name).c_str(),
+                  s.Distributed() ? "[dist]" : "[cent]",
+                  std::string(s.Description()).c_str());
+    }
+    return 0;
+  }
+  if (args.scenario_path.empty()) {
+    std::fprintf(stderr, "dsf: --scenario is required\n");
+    dsf::PrintUsage(stderr);
+    return 2;
+  }
+  try {
+    return dsf::RunCli(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dsf: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,44 @@
+// Scenario files: the `dsf` CLI's input format — one weighted graph plus any
+// number of named instances, in either input form of the paper (DSF-IC
+// terminals with labels, Definition 2.2; DSF-CR connection-request pairs,
+// Definition 2.1). Line-oriented text; `#` starts a comment; blank lines are
+// ignored:
+//
+//   graph <n>            # required first directive; nodes are 0..n-1
+//   edge <u> <v> <w>     # undirected, weight >= 1
+//   ic <name>            # begins a DSF-IC instance
+//   terminal <v> <label> # terminal of the current ic instance (label >= 1)
+//   cr <name>            # begins a DSF-CR instance
+//   pair <u> <v>         # symmetric connection request of the current cr
+//
+// Parse errors throw std::runtime_error naming the offending line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+struct ScenarioInstance {
+  std::string name;
+  bool use_cr = false;
+  IcInstance ic;  // populated when !use_cr
+  CrInstance cr;  // populated when use_cr
+};
+
+struct Scenario {
+  Graph graph;  // finalized
+  std::vector<ScenarioInstance> instances;
+};
+
+// `origin` is used in error messages (a path or "<string>").
+Scenario ParseScenario(std::istream& in, const std::string& origin);
+
+// Reads and parses `path`; throws std::runtime_error when unreadable.
+Scenario LoadScenario(const std::string& path);
+
+}  // namespace dsf

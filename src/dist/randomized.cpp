@@ -392,7 +392,8 @@ RandomizedResult RunRandomizedSteinerForest(const Graph& g,
 }
 
 RandomizedResult RunKhanBaseline(const Graph& g, const IcInstance& ic,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 const NetworkOptions& net_opts) {
   DSF_CHECK(ic.NumNodes() == g.NumNodes());
   const StaticKnowledge known = detail::KnownOrThrow(g);
   const IcInstance minimal = MakeMinimal(ic);
@@ -413,7 +414,7 @@ RandomizedResult RunKhanBaseline(const Graph& g, const IcInstance& ic,
       }
     }
     const auto out =
-        RunPipelineOnce(g, known, sub, /*truncated=*/false, {}, {},
+        RunPipelineOnce(g, known, sub, /*truncated=*/false, {}, net_opts,
                         DeriveSeed(seed, 0x4a5 + i));
     AccumulateStats(result.stats, out.stats);
     result.le_rounds += out.le_rounds;

@@ -59,8 +59,10 @@ RandomizedResult RunRandomizedSteinerForest(const Graph& g,
 
 // Baseline: runs the full selection pipeline once per input component and
 // unions the outputs — the per-component repetition our filtered single pass
-// avoids (compare rounds).
+// avoids (compare rounds). `net_opts` selects the simulator scheduling
+// (bit-identical, DESIGN.md §2).
 RandomizedResult RunKhanBaseline(const Graph& g, const IcInstance& ic,
-                                 std::uint64_t seed = 1);
+                                 std::uint64_t seed = 1,
+                                 const NetworkOptions& net_opts = {});
 
 }  // namespace dsf

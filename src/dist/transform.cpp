@@ -153,11 +153,12 @@ class MakeMinimalProgram : public TreeProgramBase {
 }  // namespace
 
 TransformResult RunDistributedCrToIc(const Graph& g, const CrInstance& cr,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed,
+                                     const NetworkOptions& net_opts) {
   DSF_CHECK(cr.NumNodes() == g.NumNodes());
   const StaticKnowledge known = detail::KnownOrThrow(g);
 
-  Network net(g, known, seed);
+  Network net(g, known, seed, net_opts);
   net.Start([&](NodeId v) {
     return std::make_unique<CrToIcProgram>(
         v, cr.requests[static_cast<std::size_t>(v)]);
@@ -178,11 +179,12 @@ TransformResult RunDistributedCrToIc(const Graph& g, const CrInstance& cr,
 }
 
 TransformResult RunDistributedMakeMinimal(const Graph& g, const IcInstance& ic,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          const NetworkOptions& net_opts) {
   DSF_CHECK(ic.NumNodes() == g.NumNodes());
   const StaticKnowledge known = detail::KnownOrThrow(g);
 
-  Network net(g, known, seed);
+  Network net(g, known, seed, net_opts);
   net.Start([&](NodeId v) {
     return std::make_unique<MakeMinimalProgram>(v, ic.LabelOf(v));
   });

@@ -32,11 +32,14 @@ struct TransformResult {
 
 // Lemma 2.3: the equivalent DSF-IC instance of a DSF-CR instance, computed
 // distributively. Labels are the smallest terminal id per request component.
+// `net_opts` selects the simulator scheduling (bit-identical, DESIGN.md §2).
 TransformResult RunDistributedCrToIc(const Graph& g, const CrInstance& cr,
-                                     std::uint64_t seed = 1);
+                                     std::uint64_t seed = 1,
+                                     const NetworkOptions& net_opts = {});
 
 // Lemma 2.4: drops labels held by a single terminal, distributively.
 TransformResult RunDistributedMakeMinimal(const Graph& g, const IcInstance& ic,
-                                          std::uint64_t seed = 1);
+                                          std::uint64_t seed = 1,
+                                          const NetworkOptions& net_opts = {});
 
 }  // namespace dsf

@@ -1,6 +1,7 @@
 #include "graph/properties.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "graph/shortest_paths.hpp"
 
@@ -29,10 +30,21 @@ GraphParameters ComputeParameters(const Graph& g) {
 
 const GraphParameters& CachedParameters(const Graph& g) {
   DSF_CHECK(g.Finalized());
-  if (g.params_cache_ == nullptr) {
-    g.params_cache_ =
-        std::make_shared<const GraphParameters>(ComputeParameters(g));
+  // Concurrent batch solves share one Graph and may race to fill a cold
+  // cache (BatchEngine fans requests across the round pool), so the lazy
+  // install is serialized. The expensive all-pairs computation runs outside
+  // the lock: a cold same-graph race wastes one duplicate computation, but
+  // callers needing an unrelated (or warm) graph never block behind it.
+  // Once installed the object is never replaced, so the returned reference
+  // stays valid for the graph's lifetime.
+  static std::mutex mu;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (g.params_cache_ != nullptr) return *g.params_cache_;
   }
+  auto computed = std::make_shared<const GraphParameters>(ComputeParameters(g));
+  const std::lock_guard<std::mutex> lock(mu);
+  if (g.params_cache_ == nullptr) g.params_cache_ = std::move(computed);
   return *g.params_cache_;
 }
 

@@ -1,0 +1,284 @@
+#include "solve/solver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <sstream>
+
+#include "dist/det_moat.hpp"
+#include "dist/randomized.hpp"
+#include "dist/transform.hpp"
+#include "steiner/exact.hpp"
+#include "steiner/mst.hpp"
+#include "steiner/prune.hpp"
+#include "steiner/validate.hpp"
+
+namespace dsf {
+
+namespace {
+
+class ExactSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "exact"; }
+  std::string_view Description() const noexcept override {
+    return "exact optimum (partition DP + Dreyfus-Wagner); small instances";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions&,
+                            std::uint64_t) const override {
+    SolverOutput out;
+    out.forest = ExactSteinerForest(g, ic).edges;
+    return out;
+  }
+};
+
+class GwMoatSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "gw-moat"; }
+  std::string_view Description() const noexcept override {
+    return "centralized moat growing, (2+eps)-approximation (Alg. 1/2)";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t) const override {
+    MoatOptions mopt;
+    mopt.epsilon = options.epsilon;
+    auto res = CentralizedMoatGrowing(g, ic, mopt);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.dual_sum = res.dual_sum;
+    out.phases = res.merge_phases;
+    return out;
+  }
+};
+
+class MstPruneSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "mst-prune"; }
+  std::string_view Description() const noexcept override {
+    return "Kruskal MST pruned to the terminal components (baseline)";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions&,
+                            std::uint64_t) const override {
+    SolverOutput out;
+    // The prune is the algorithm here, not post-processing: an unpruned MST
+    // spans every node of the graph.
+    out.forest = MinimalFeasibleSubforest(g, ic, KruskalMst(g));
+    return out;
+  }
+};
+
+class DistDetSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "dist-det"; }
+  std::string_view Description() const noexcept override {
+    return "distributed deterministic moat growing (Theorem 4.17)";
+  }
+  bool Distributed() const noexcept override { return true; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t seed) const override {
+    DetMoatOptions dopt;
+    dopt.epsilon = options.epsilon;
+    dopt.net = options.net;
+    auto res = RunDistributedMoat(g, ic, dopt, seed);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.stats = res.stats;
+    out.dual_sum = res.dual_sum;
+    out.phases = res.phases;
+    return out;
+  }
+};
+
+class DistRandSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "dist-rand"; }
+  std::string_view Description() const noexcept override {
+    return "distributed randomized tree embedding (Theorem 5.2)";
+  }
+  bool Distributed() const noexcept override { return true; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t seed) const override {
+    RandomizedOptions ropt;
+    ropt.repetitions = options.repetitions;
+    ropt.net = options.net;
+    auto res = RunRandomizedSteinerForest(g, ic, ropt, seed);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.stats = res.stats;
+    return out;
+  }
+};
+
+class DistKhanSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "dist-khan"; }
+  std::string_view Description() const noexcept override {
+    return "per-component selection baseline (Khan et al. style)";
+  }
+  bool Distributed() const noexcept override { return true; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t seed) const override {
+    auto res = RunKhanBaseline(g, ic, seed, options.net);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.stats = res.stats;
+    return out;
+  }
+};
+
+// Canonical registration order — also the order Names() reports and the CLI
+// runs under `--solvers all`.
+const std::array<const Solver*, 6>& Table() {
+  static const ExactSolver exact;
+  static const GwMoatSolver gw;
+  static const MstPruneSolver mst;
+  static const DistDetSolver det;
+  static const DistRandSolver rand;
+  static const DistKhanSolver khan;
+  static const std::array<const Solver*, 6> table{&exact, &gw,   &mst,
+                                                  &det,   &rand, &khan};
+  return table;
+}
+
+}  // namespace
+
+const Solver* SolverRegistry::Find(std::string_view name) noexcept {
+  for (const Solver* s : Table()) {
+    if (s->Name() == name) return s;
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::Get(std::string_view name) {
+  const Solver* s = Find(name);
+  if (s == nullptr) {
+    std::ostringstream known;
+    for (const Solver* k : Table()) known << " " << k->Name();
+    DSF_CHECK_MSG(false, "unknown solver '" << name << "'; registered:"
+                                            << known.str());
+  }
+  return *s;
+}
+
+std::vector<std::string_view> SolverRegistry::Names() {
+  std::vector<std::string_view> names;
+  names.reserve(Table().size());
+  for (const Solver* s : Table()) names.push_back(s->Name());
+  return names;
+}
+
+namespace {
+
+// `options` is by value: it is a handful of scalars, and the batch entry
+// point patches the scheduler field without touching the caller's request.
+SolveResult SolveImpl(const SolveRequest& request, std::uint64_t seed,
+                      SolveOptions options) {
+  const Solver& solver = SolverRegistry::Get(request.solver);
+  DSF_CHECK_MSG(request.graph != nullptr && request.graph->Finalized(),
+                "SolveRequest needs a finalized graph");
+  const Graph& g = *request.graph;
+
+  SolveResult result;
+  result.solver = std::string(solver.Name());
+
+  // CR input: the distributed Lemma 2.3 transform turns pairwise requests
+  // into input components; its rounds/messages/bits are reported separately
+  // so the solver core's accounting stays comparable across input forms.
+  IcInstance ic;
+  if (request.use_cr) {
+    DSF_CHECK(request.cr.NumNodes() == g.NumNodes());
+    auto transformed = RunDistributedCrToIc(g, request.cr, seed, options.net);
+    result.transform_rounds = transformed.stats.rounds;
+    result.transform_messages = transformed.stats.messages;
+    result.transform_bits = transformed.stats.total_bits;
+    ic = std::move(transformed.instance);
+  } else {
+    DSF_CHECK(request.ic.NumNodes() == g.NumNodes());
+    ic = request.ic;
+  }
+  const IcInstance minimal = MakeMinimal(ic);
+
+  const auto start = std::chrono::steady_clock::now();
+  SolverOutput core = solver.SolveMinimal(g, minimal, options, seed);
+  if (options.prune && !core.forest.empty()) {
+    core.forest = MinimalFeasibleSubforest(g, minimal, core.forest);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  result.forest = std::move(core.forest);
+  std::sort(result.forest.begin(), result.forest.end());
+  result.weight = g.WeightOf(result.forest);
+  result.stats = core.stats;
+  result.dual_lower_bound = core.dual_sum;
+  result.phases = core.phases;
+
+  if (options.validate) {
+    result.validated = true;
+    result.feasible = IsFeasible(g, ic, result.forest) &&
+                      (!request.use_cr ||
+                       IsFeasibleCr(g, request.cr, result.forest));
+  }
+  if (options.compute_reference) {
+    // The exact core already produced the optimum; don't run the DP twice.
+    result.reference_weight = solver.Name() == "exact"
+                                  ? result.weight
+                                  : ExactSteinerForestWeight(g, minimal);
+    if (result.reference_weight > 0 && result.reference_weight < kInfWeight) {
+      result.approx_ratio = static_cast<double>(result.weight) /
+                            static_cast<double>(result.reference_weight);
+    } else if (result.reference_weight == 0 && result.weight == 0) {
+      result.approx_ratio = 1.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SolveResult Solve(const SolveRequest& request) {
+  return SolveImpl(request, request.seed, request.options);
+}
+
+SolveResult Solve(const SolveRequest& request, std::uint64_t seed_override,
+                  int net_threads_override) {
+  SolveOptions options = request.options;
+  options.net.threads = net_threads_override;
+  return SolveImpl(request, seed_override, options);
+}
+
+SolveResult Solve(std::string_view solver, const Graph& g,
+                  const IcInstance& ic, const SolveOptions& options,
+                  std::uint64_t seed) {
+  SolveRequest req;
+  req.solver = std::string(solver);
+  req.graph = &g;
+  req.ic = ic;
+  req.options = options;
+  req.seed = seed;
+  return Solve(req);
+}
+
+SolveResult Solve(std::string_view solver, const Graph& g,
+                  const CrInstance& cr, const SolveOptions& options,
+                  std::uint64_t seed) {
+  SolveRequest req;
+  req.solver = std::string(solver);
+  req.graph = &g;
+  req.cr = cr;
+  req.use_cr = true;
+  req.options = options;
+  req.seed = seed;
+  return Solve(req);
+}
+
+}  // namespace dsf

@@ -2,100 +2,235 @@
 
 #include <algorithm>
 #include <map>
-#include <queue>
 
 #include "graph/shortest_paths.hpp"
 
 namespace dsf {
 
-Weight ExactSteinerTreeWeight(const Graph& g,
-                              std::span<const NodeId> terminals) {
+namespace {
+
+// Dreyfus–Wagner state for one terminal set: dp plus the transition taken,
+// so the optimum can be expanded into edges afterwards. Flat [mask * n + v]
+// indexing.
+struct DwTable {
+  int n = 0;
+  std::uint32_t full = 0;
+  std::vector<Weight> dp;
+  // Transition per (mask, v): merge_sub != 0 means dp[sub][v] + dp[mask^sub][v];
+  // otherwise reroot_from != kNoNode means dp[mask][from] + wd(from, v);
+  // otherwise the singleton base case (path from the mask's terminal to v).
+  std::vector<std::uint32_t> merge_sub;
+  std::vector<NodeId> reroot_from;
+
+  [[nodiscard]] std::size_t At(std::uint32_t mask, NodeId v) const {
+    return static_cast<std::size_t>(mask) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(v);
+  }
+};
+
+DwTable RunDreyfusWagner(const Graph& g, std::span<const NodeId> terminals,
+                         const std::vector<ShortestPathTree>& spt) {
   const int t = static_cast<int>(terminals.size());
-  if (t <= 1) return 0;
-  DSF_CHECK_MSG(t <= 20, "Dreyfus-Wagner limited to 20 terminals, got " << t);
   const int n = g.NumNodes();
+  DwTable tab;
+  tab.n = n;
+  tab.full = (1u << t) - 1;
+  const std::size_t cells =
+      (static_cast<std::size_t>(tab.full) + 1) * static_cast<std::size_t>(n);
+  tab.dp.assign(cells, kInfWeight);
+  tab.merge_sub.assign(cells, 0);
+  tab.reroot_from.assign(cells, kNoNode);
 
-  // All-pairs shortest distances (n Dijkstras — small instances only).
-  std::vector<std::vector<Weight>> dist;
-  dist.reserve(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) dist.push_back(Dijkstra(g, v).dist);
-
-  const std::uint32_t full = (1u << t) - 1;
-  // dp[S][v] = min weight of a tree spanning {terminals in S} ∪ {v}.
-  std::vector<std::vector<Weight>> dp(
-      full + 1, std::vector<Weight>(static_cast<std::size_t>(n), kInfWeight));
   for (int i = 0; i < t; ++i) {
     const NodeId ti = terminals[static_cast<std::size_t>(i)];
+    const auto& dist_ti = spt[static_cast<std::size_t>(ti)].dist;
     for (NodeId v = 0; v < n; ++v) {
-      dp[1u << i][static_cast<std::size_t>(v)] =
-          dist[static_cast<std::size_t>(ti)][static_cast<std::size_t>(v)];
+      tab.dp[tab.At(1u << i, v)] = dist_ti[static_cast<std::size_t>(v)];
     }
   }
-  for (std::uint32_t s = 1; s <= full; ++s) {
+  for (std::uint32_t s = 1; s <= tab.full; ++s) {
     if ((s & (s - 1)) == 0) continue;  // singletons initialized above
-    auto& row = dp[s];
+    Weight* row = tab.dp.data() + tab.At(s, 0);
+    std::uint32_t* row_sub = tab.merge_sub.data() + tab.At(s, 0);
+    NodeId* row_from = tab.reroot_from.data() + tab.At(s, 0);
     // Combine two subtrees at a common node.
     for (std::uint32_t sub = (s - 1) & s; sub != 0; sub = (sub - 1) & s) {
       if (sub < (s ^ sub)) continue;  // each split once
-      const auto& a = dp[sub];
-      const auto& b = dp[s ^ sub];
+      const Weight* a = tab.dp.data() + tab.At(sub, 0);
+      const Weight* b = tab.dp.data() + tab.At(s ^ sub, 0);
       for (NodeId v = 0; v < n; ++v) {
         const auto vi = static_cast<std::size_t>(v);
-        if (a[vi] < kInfWeight && b[vi] < kInfWeight) {
-          row[vi] = std::min(row[vi], a[vi] + b[vi]);
+        if (a[vi] < kInfWeight && b[vi] < kInfWeight &&
+            a[vi] + b[vi] < row[vi]) {
+          row[vi] = a[vi] + b[vi];
+          row_sub[vi] = sub;
+          row_from[vi] = kNoNode;
         }
       }
     }
-    // Re-root through shortest paths (metric closure relaxation).
+    // Re-root through shortest paths. One pass suffices because `spt`
+    // distances form a metric closure (chaining relaxations cannot beat the
+    // triangle inequality), and every improvement overwrites the transition,
+    // so reroot chains strictly decrease dp and cannot cycle.
     for (NodeId v = 0; v < n; ++v) {
       const auto vi = static_cast<std::size_t>(v);
       if (row[vi] >= kInfWeight) continue;
+      const auto& dist_v = spt[vi].dist;
       for (NodeId u = 0; u < n; ++u) {
         const auto ui = static_cast<std::size_t>(u);
-        const Weight via = row[vi] + dist[vi][ui];
-        row[ui] = std::min(row[ui], via);
+        if (dist_v[ui] >= kInfWeight) continue;
+        const Weight via = row[vi] + dist_v[ui];
+        if (via < row[ui]) {
+          row[ui] = via;
+          row_sub[ui] = 0;
+          row_from[ui] = v;
+        }
       }
     }
   }
-  Weight best = kInfWeight;
-  const NodeId t0 = terminals[0];
-  best = dp[full][static_cast<std::size_t>(t0)];
-  return best;
+  return tab;
 }
 
-Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic) {
+void AddPathEdges(const ShortestPathTree& tree, NodeId to,
+                  std::vector<char>& in_forest, std::vector<EdgeId>& edges) {
+  for (const EdgeId e : tree.PathTo(to)) {
+    if (!in_forest[static_cast<std::size_t>(e)]) {
+      in_forest[static_cast<std::size_t>(e)] = 1;
+      edges.push_back(e);
+    }
+  }
+}
+
+// Expands the optimum tree of (mask, v) into edges (deduplicated through
+// `in_forest`). Iterative worklist; each merge strictly shrinks the mask and
+// each reroot strictly shrinks dp, so expansion terminates.
+void ExpandTree(const DwTable& tab, std::span<const NodeId> terminals,
+                const std::vector<ShortestPathTree>& spt, std::uint32_t mask,
+                NodeId v, std::vector<char>& in_forest,
+                std::vector<EdgeId>& edges) {
+  std::vector<std::pair<std::uint32_t, NodeId>> work{{mask, v}};
+  while (!work.empty()) {
+    const auto [s, x] = work.back();
+    work.pop_back();
+    if ((s & (s - 1)) == 0) {
+      // Singleton base case: the shortest path terminal -> x.
+      int i = 0;
+      while (!(s & (1u << i))) ++i;
+      const NodeId ti = terminals[static_cast<std::size_t>(i)];
+      AddPathEdges(spt[static_cast<std::size_t>(ti)], x, in_forest, edges);
+      continue;
+    }
+    const std::size_t at = tab.At(s, x);
+    if (const std::uint32_t sub = tab.merge_sub[at]; sub != 0) {
+      work.push_back({sub, x});
+      work.push_back({s ^ sub, x});
+    } else {
+      const NodeId from = tab.reroot_from[at];
+      DSF_CHECK(from != kNoNode);
+      AddPathEdges(spt[static_cast<std::size_t>(from)], x, in_forest, edges);
+      work.push_back({s, from});
+    }
+  }
+}
+
+std::vector<ShortestPathTree> AllPairsTrees(const Graph& g) {
+  std::vector<ShortestPathTree> spt;
+  spt.reserve(static_cast<std::size_t>(g.NumNodes()));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) spt.push_back(Dijkstra(g, v));
+  return spt;
+}
+
+ExactSolution SteinerTreeWithTrees(const Graph& g,
+                                   std::span<const NodeId> terminals,
+                                   const std::vector<ShortestPathTree>& spt,
+                                   std::vector<char>& in_forest) {
+  ExactSolution out;
+  const int t = static_cast<int>(terminals.size());
+  if (t <= 1) {
+    out.weight = 0;
+    return out;
+  }
+  const DwTable tab = RunDreyfusWagner(g, terminals, spt);
+  const NodeId root = terminals[0];
+  out.weight = tab.dp[tab.At(tab.full, root)];
+  if (out.weight >= kInfWeight) return out;
+  ExpandTree(tab, terminals, spt, tab.full, root, in_forest, out.edges);
+  return out;
+}
+
+}  // namespace
+
+ExactSolution ExactSteinerTree(const Graph& g,
+                               std::span<const NodeId> terminals) {
+  const int t = static_cast<int>(terminals.size());
+  if (t <= 1) return {.weight = 0, .edges = {}};
+  DSF_CHECK_MSG(t <= kExactTreeMaxTerminals,
+                "Dreyfus-Wagner limited to " << kExactTreeMaxTerminals
+                                             << " terminals, got " << t);
+  const auto spt = AllPairsTrees(g);
+  std::vector<char> in_forest(static_cast<std::size_t>(g.NumEdges()), 0);
+  ExactSolution out = SteinerTreeWithTrees(g, terminals, spt, in_forest);
+  // An optimal tree realized through shortest paths cannot retain a cycle:
+  // weights are >= 1, so dropping any cycle edge would beat the optimum.
+  DSF_CHECK(out.weight >= kInfWeight || g.WeightOf(out.edges) == out.weight);
+  return out;
+}
+
+Weight ExactSteinerTreeWeight(const Graph& g,
+                              std::span<const NodeId> terminals) {
+  return ExactSteinerTree(g, terminals).weight;
+}
+
+ExactSolution ExactSteinerForest(const Graph& g, const IcInstance& ic) {
   const IcInstance inst = MakeMinimal(ic);
   const auto labels = inst.DistinctLabels();
   const int k = static_cast<int>(labels.size());
-  if (k == 0) return 0;
-  DSF_CHECK_MSG(k <= 8, "partition enumeration limited to 8 components");
+  if (k == 0) return {.weight = 0, .edges = {}};
+  DSF_CHECK_MSG(k <= kExactForestMaxComponents,
+                "partition enumeration limited to "
+                    << kExactForestMaxComponents << " components, got " << k);
+  // The partition DP evaluates Dreyfus-Wagner on unions of components — up
+  // to every terminal at once — so the terminal count is what makes large
+  // instances hang, not the component count. Fail loudly instead.
+  const int t = inst.NumTerminals();
+  DSF_CHECK_MSG(t <= kExactForestMaxTerminals,
+                "exact forest solver limited to " << kExactForestMaxTerminals
+                                                  << " terminals, got " << t);
 
   std::map<Label, std::vector<NodeId>> members;
   for (NodeId v = 0; v < inst.NumNodes(); ++v) {
     if (inst.IsTerminal(v)) members[inst.LabelOf(v)].push_back(v);
   }
 
+  const auto spt = AllPairsTrees(g);
+
   // Memoize Steiner-tree weights per subset of components.
   std::vector<Weight> tree_weight(1u << k, -1);
+  std::vector<std::vector<NodeId>> subset_terms(1u << k);
   const auto subset_weight = [&](std::uint32_t mask) -> Weight {
     Weight& memo = tree_weight[mask];
     if (memo >= 0) return memo;
-    std::vector<NodeId> terms;
+    auto& terms = subset_terms[mask];
     for (int i = 0; i < k; ++i) {
       if (mask & (1u << i)) {
         const auto& m = members[labels[static_cast<std::size_t>(i)]];
         terms.insert(terms.end(), m.begin(), m.end());
       }
     }
-    memo = ExactSteinerTreeWeight(g, terms);
+    // Weight-only probe: the realizing edges are expanded below, only for
+    // the parts of the winning partition.
+    const DwTable tab = RunDreyfusWagner(g, terms, spt);
+    memo = tab.dp[tab.At(tab.full, terms[0])];
     return memo;
   };
 
   // dp over subsets: opt[S] = min over nonempty T ⊆ S (containing lowest bit)
   // of subset_weight(T) + opt[S \ T]. Equivalent to minimizing over set
-  // partitions, without explicit partition enumeration.
+  // partitions, without explicit partition enumeration. `part_of[S]` records
+  // the winning T for reconstruction.
   const std::uint32_t full = (1u << k) - 1;
   std::vector<Weight> opt(full + 1, kInfWeight);
+  std::vector<std::uint32_t> part_of(full + 1, 0);
   opt[0] = 0;
   for (std::uint32_t s = 1; s <= full; ++s) {
     const std::uint32_t low = s & (~s + 1);
@@ -103,12 +238,35 @@ Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic) {
       if (!(sub & low)) continue;
       const Weight tw = subset_weight(sub);
       const Weight rest = opt[s ^ sub];
-      if (tw < kInfWeight && rest < kInfWeight) {
-        opt[s] = std::min(opt[s], tw + rest);
+      if (tw < kInfWeight && rest < kInfWeight && tw + rest < opt[s]) {
+        opt[s] = tw + rest;
+        part_of[s] = sub;
       }
     }
   }
-  return opt[full];
+
+  ExactSolution out;
+  out.weight = opt[full];
+  if (out.weight >= kInfWeight) return out;
+  // Expand the winning partition part by part. Parts cannot share edges: the
+  // union is feasible and weighs at most the sum, so a shared edge would
+  // contradict optimality (weights >= 1); the result is a forest of weight
+  // opt[full], which the weight check below pins.
+  std::vector<char> in_forest(static_cast<std::size_t>(g.NumEdges()), 0);
+  for (std::uint32_t s = full; s != 0; s ^= part_of[s]) {
+    const std::uint32_t part = part_of[s];
+    DSF_CHECK(part != 0);
+    const ExactSolution tree =
+        SteinerTreeWithTrees(g, subset_terms[part], spt, in_forest);
+    out.edges.insert(out.edges.end(), tree.edges.begin(), tree.edges.end());
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  DSF_CHECK(g.WeightOf(out.edges) == out.weight);
+  return out;
+}
+
+Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic) {
+  return ExactSteinerForest(g, ic).weight;
 }
 
 }  // namespace dsf

@@ -2,10 +2,18 @@
 // ratios; Steiner Forest is NP-hard, so these are exponential in k / t and
 // used on small instances only).
 //
-// Steiner tree: Dreyfus–Wagner dynamic program, O(3^t n + 2^t n^2).
+// Steiner tree: Dreyfus–Wagner dynamic program, O(3^t n + 2^t n^2), with
+// edge reconstruction so the optimum is available as an actual forest (the
+// registry's `exact` reference solver validates its output like any other).
 // Steiner forest: the connected components of an optimal forest induce a
 // partition of the input components, and each part is an optimal Steiner
 // tree over its terminals; we minimize over all set partitions of Λ.
+//
+// Hard limits (DSF_CHECK, fail loudly instead of hanging): a Steiner tree
+// call takes at most kExactTreeMaxTerminals terminals; a forest instance at
+// most kExactForestMaxComponents components and — because the partition DP
+// evaluates Dreyfus–Wagner on unions of components, up to the full terminal
+// set — kExactForestMaxTerminals terminals in total after minimization.
 #pragma once
 
 #include <span>
@@ -16,11 +24,30 @@
 
 namespace dsf {
 
-// Weight of an optimal Steiner tree connecting `terminals` (<= ~16 of them).
-// Returns 0 when |terminals| <= 1 and kInfWeight when disconnected.
-Weight ExactSteinerTreeWeight(const Graph& g, std::span<const NodeId> terminals);
+// 3^20 subset splits is the practical ceiling of the tree DP.
+inline constexpr int kExactTreeMaxTerminals = 20;
+// The forest DP runs the tree DP on the full terminal set; 3^14 · n keeps
+// the worst call in the seconds range on small graphs.
+inline constexpr int kExactForestMaxTerminals = 14;
+inline constexpr int kExactForestMaxComponents = 8;
 
-// Weight of an optimal Steiner forest for the instance (k <= ~7 components).
+// An optimum together with a realizing edge set (edge ids, no duplicates).
+// `edges` is empty when the optimum is 0 or unreachable (kInfWeight).
+struct ExactSolution {
+  Weight weight = kInfWeight;
+  std::vector<EdgeId> edges;
+};
+
+// Optimal Steiner tree connecting `terminals` (<= kExactTreeMaxTerminals).
+// weight == 0 when |terminals| <= 1, kInfWeight when disconnected.
+ExactSolution ExactSteinerTree(const Graph& g, std::span<const NodeId> terminals);
+
+// Optimal Steiner forest for the instance (<= kExactForestMaxComponents
+// components and <= kExactForestMaxTerminals terminals after MakeMinimal).
+ExactSolution ExactSteinerForest(const Graph& g, const IcInstance& ic);
+
+// Weight-only wrappers (same limits).
+Weight ExactSteinerTreeWeight(const Graph& g, std::span<const NodeId> terminals);
 Weight ExactSteinerForestWeight(const Graph& g, const IcInstance& ic);
 
 }  // namespace dsf

@@ -5,6 +5,7 @@
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
 #include "steiner/mst.hpp"
+#include "steiner/validate.hpp"
 
 namespace dsf {
 namespace {
@@ -109,6 +110,61 @@ TEST(ExactSteinerForestTest, PartitionChoiceMatters) {
   // 6-3-0-1 (w 3). Sharing edges 1-0: total exact = 4 + 3 - 1 (edge 0-1
   // shared)... the exact solver must find weight 6.
   EXPECT_EQ(ExactSteinerForestWeight(g, ic), 6);
+}
+
+TEST(ExactSolutionTest, TreeEdgesRealizeTheOptimum) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SplitMix64 rng(seed * 11 + 2);
+    const Graph g = MakeConnectedRandom(14, 0.3, 1, 20, rng);
+    const std::vector<NodeId> terms{0, 5, 9, 13};
+    const ExactSolution sol = ExactSteinerTree(g, terms);
+    ASSERT_LT(sol.weight, kInfWeight) << seed;
+    EXPECT_EQ(g.WeightOf(sol.edges), sol.weight) << seed;
+    EXPECT_TRUE(g.IsForest(sol.edges)) << seed;
+    const IcInstance ic =
+        MakeIcInstance(14, {{0, 1}, {5, 1}, {9, 1}, {13, 1}});
+    EXPECT_TRUE(IsFeasible(g, ic, sol.edges)) << seed;
+  }
+}
+
+TEST(ExactSolutionTest, ForestEdgesRealizeTheOptimum) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SplitMix64 rng(seed * 7 + 1);
+    const Graph g = MakeConnectedRandom(14, 0.3, 1, 16, rng);
+    const IcInstance ic =
+        MakeIcInstance(14, {{0, 1}, {13, 1}, {3, 2}, {10, 2}, {6, 3}, {8, 3}});
+    const ExactSolution sol = ExactSteinerForest(g, ic);
+    ASSERT_LT(sol.weight, kInfWeight) << seed;
+    EXPECT_EQ(g.WeightOf(sol.edges), sol.weight) << seed;
+    EXPECT_TRUE(g.IsForest(sol.edges)) << seed;
+    EXPECT_TRUE(IsFeasible(g, ic, sol.edges)) << seed;
+    EXPECT_TRUE(IsMinimalFeasible(g, ic, sol.edges)) << seed;
+  }
+}
+
+TEST(ExactSolutionTest, ForestEdgesOnSharingInstance) {
+  // The SharingBeatsSeparation path: the realizing edges are the shared
+  // segment 0-1-2-3, one tree covering both components.
+  const Graph g = MakePath(4);
+  const IcInstance ic = MakeIcInstance(4, {{0, 1}, {3, 1}, {1, 2}, {2, 2}});
+  const ExactSolution sol = ExactSteinerForest(g, ic);
+  EXPECT_EQ(sol.weight, 3);
+  EXPECT_EQ(sol.edges, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(ExactSteinerForestTest, TooManyTerminalsFailsLoudly) {
+  // 8 components x 2 terminals = 16 terminals: under the component cap but
+  // over kExactForestMaxTerminals — must throw instead of grinding through
+  // a 3^16-subset Dreyfus-Wagner on the full union.
+  const Graph g = MakePath(16);
+  std::vector<std::pair<NodeId, Label>> assign;
+  for (int c = 0; c < 8; ++c) {
+    assign.push_back({static_cast<NodeId>(2 * c), static_cast<Label>(c + 1)});
+    assign.push_back(
+        {static_cast<NodeId>(2 * c + 1), static_cast<Label>(c + 1)});
+  }
+  EXPECT_THROW(ExactSteinerForestWeight(g, MakeIcInstance(16, assign)),
+               std::logic_error);
 }
 
 }  // namespace

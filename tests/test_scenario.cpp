@@ -1,0 +1,135 @@
+// CLI building blocks: the scenario-file parser and the JSON emitter.
+#include "cli/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/json.hpp"
+
+namespace dsf {
+namespace {
+
+Scenario ParseString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseScenario(in, "<string>");
+}
+
+TEST(ScenarioTest, ParsesGraphAndBothInstanceForms) {
+  const Scenario s = ParseString(
+      "# demo\n"
+      "graph 4\n"
+      "edge 0 1 3   # with a trailing comment\n"
+      "edge 1 2 1\n"
+      "edge 2 3 4\n"
+      "\n"
+      "ic pairs\n"
+      "terminal 0 1\n"
+      "terminal 3 1\n"
+      "cr orders\n"
+      "pair 1 3\n");
+  EXPECT_EQ(s.graph.NumNodes(), 4);
+  EXPECT_EQ(s.graph.NumEdges(), 3);
+  EXPECT_TRUE(s.graph.Finalized());
+  EXPECT_EQ(s.graph.GetEdge(0).w, 3);
+  ASSERT_EQ(s.instances.size(), 2u);
+  EXPECT_EQ(s.instances[0].name, "pairs");
+  EXPECT_FALSE(s.instances[0].use_cr);
+  EXPECT_EQ(s.instances[0].ic.NumTerminals(), 2);
+  EXPECT_EQ(s.instances[0].ic.LabelOf(0), 1);
+  EXPECT_EQ(s.instances[1].name, "orders");
+  EXPECT_TRUE(s.instances[1].use_cr);
+  EXPECT_EQ(s.instances[1].cr.NumRequests(), 2);  // symmetric
+}
+
+TEST(ScenarioTest, RejectsMalformedInput) {
+  // Each entry: (scenario text, reason it must be rejected).
+  const char* bad[] = {
+      "edge 0 1 2\n",                         // edge before graph
+      "graph 0\n",                            // empty graph
+      "graph 3\ngraph 3\nic a\nterminal 0 1\n",  // duplicate graph
+      "graph 3\nedge 0 3 1\nic a\nterminal 0 1\n",   // endpoint out of range
+      "graph 3\nedge 1 1 1\nic a\nterminal 0 1\n",   // self-loop
+      "graph 3\nedge 0 1 0\nic a\nterminal 0 1\n",   // weight < 1
+      "graph 3\nedge 0 1 1\n",                // no instances
+      "graph 3\nedge 0 1 1\nic a\n",          // ic without terminals
+      "graph 3\nedge 0 1 1\ncr a\n",          // cr without pairs
+      "graph 3\nedge 0 1 1\nterminal 0 1\n",  // terminal outside ic
+      "graph 3\nedge 0 1 1\ncr a\nterminal 0 1\n",   // terminal inside cr
+      "graph 3\nedge 0 1 1\nic a\npair 0 1\n",       // pair inside ic
+      "graph 3\nedge 0 1 1\nic a\nterminal 0 0\n",   // label < 1
+      "graph 3\nedge 0 1 1\ncr a\npair 1 1\n",       // self-request
+      "graph 3\nedge 0 1 1 9\nic a\nterminal 0 1\n",  // trailing tokens
+      "graph 3\nfrobnicate\n",                // unknown directive
+      "graph 4294967299\nedge 0 1 1\nic a\nterminal 0 1\n",  // n > int range
+      "graph 3\nedge 0 1 1\nic a\nterminal 0 4294967297\n",  // label > int32
+      "graph 3\nedge 0 1 1\nic a\nterminal 0 1\nterminal 0 2\n",  // dup node
+      "graph 3\nedge 0 1 1\ncr a\npair 0 1\npair 1 0\n",     // dup pair
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(ParseString(text), std::runtime_error) << text;
+  }
+}
+
+TEST(ScenarioTest, ErrorsNameOriginAndLine) {
+  try {
+    ParseString("graph 3\nedge 0 9 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("<string>:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioTest, LoadRejectsMissingFile) {
+  EXPECT_THROW(LoadScenario("/nonexistent/path.dsf"), std::runtime_error);
+}
+
+TEST(JsonWriterTest, NestsAndSeparates) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.Key("b");
+  json.BeginArray();
+  json.Int(2);
+  json.String("x");
+  json.Bool(true);
+  json.Null();
+  json.BeginObject();
+  json.Key("c");
+  json.Double(1.5);
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_TRUE(json.Done());
+  EXPECT_EQ(out.str(), R"({"a":1,"b":[2,"x",true,null,{"c":1.5}]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("quote\"back\\slash");
+  json.String("line\nbreak\ttab\x01");
+  json.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"quote\\\"back\\\\slash\":\"line\\nbreak\\ttab\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(0.25);
+  json.EndArray();
+  EXPECT_EQ(out.str(), "[null,null,0.25]");
+}
+
+}  // namespace
+}  // namespace dsf
