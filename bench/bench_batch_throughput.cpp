@@ -1,55 +1,52 @@
 // Batch-engine throughput: instances/sec and tail latency of the unified
 // solver pipeline under the round-pool fan-out (solve/batch.hpp), at 1, 4,
-// and 8 executors. The workload is a fixed matrix of deterministic,
-// randomized, and centralized requests over shared topologies — the
-// "many scenarios" serving shape of the ROADMAP. Results must be
+// and 8 executors. The workload is one declarative spec (workload/spec.hpp)
+// — two registry topologies, each with a salt-swept random-ic draw — so the
+// bench, the CLI, and the tests all consume the same workload description.
+// 12 instances x {dist-det, dist-rand, gw-moat, mst-prune} = 48 requests
+// mixing heavy (simulated) and light (centralized) items. Results must be
 // bit-identical across thread counts (pinned by tests/test_batch.cpp); the
 // thread sweep differs only in wall clock. `bench/run_benchmarks.sh`
 // records this series as BENCH_batch.json.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "solve/batch.hpp"
+#include "workload/spec.hpp"
 
 namespace dsf {
 namespace {
 
-// 48 requests over two shared topologies; mix of solver families so the
-// batch has both heavy (simulated) and light (centralized) items.
-std::vector<SolveRequest> BuildWorkload(const Graph& sparse,
-                                        const Graph& grid) {
-  std::vector<SolveRequest> requests;
-  const char* families[] = {"dist-det", "dist-rand", "gw-moat", "mst-prune"};
-  for (std::uint64_t i = 0; i < 12; ++i) {
-    SplitMix64 rng(i * 17 + 3);
-    for (const char* family : families) {
-      SolveRequest req;
-      req.solver = family;
-      const Graph& g = (i % 2 == 0) ? sparse : grid;
-      req.graph = &g;
-      req.ic = bench::SpreadComponents(g.NumNodes(), 3, rng);
-      requests.push_back(std::move(req));
-    }
-  }
-  return requests;
-}
+constexpr char kWorkloadSpec[] = R"(
+seed 2014
+generate er n=96 p=0.06 min_w=1 max_w=32 as sparse
+sample random-ic spread k=3 tpc=2
+sweep salt 0 1 2 3 4 5
+
+generate grid rows=8 cols=8 min_w=1 max_w=9 as mesh
+sample random-ic spread k=3 tpc=2
+sweep salt 0 1 2 3 4 5
+)";
 
 void BM_BatchThroughput(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
-  SplitMix64 srng(11);
-  const Graph sparse = MakeConnectedRandom(96, 0.06, 1, 32, srng);
-  SplitMix64 grng(13);
-  const Graph grid = MakeGrid(8, 8, 1, 9, grng);
-  const auto workload = BuildWorkload(sparse, grid);
+  std::istringstream in(kWorkloadSpec);
+  const Workload workload =
+      ExpandWorkload(ParseWorkloadSpec(in, "<bench_batch>"));
+  const std::vector<std::string> solvers = {"dist-det", "dist-rand",
+                                            "gw-moat", "mst-prune"};
+  const RequestMatrix matrix = BuildRequests(workload, solvers, {});
 
   BatchOptions opt;
   opt.threads = threads;
-  opt.master_seed = 2014;
+  opt.master_seed = workload.seed;
   BatchEngine engine(opt);
   for (auto _ : state) {
-    const auto results = engine.Run(workload);
+    const auto results = engine.Run(matrix.requests);
     benchmark::DoNotOptimize(results.data());
   }
   const BatchStats& stats = engine.LastStats();

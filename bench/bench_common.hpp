@@ -1,10 +1,12 @@
 // Shared helpers for the benchmark suite. Each bench binary regenerates one
-// experiment row of DESIGN.md §4; results are exposed as benchmark counters
+// experiment row of DESIGN.md §5; results are exposed as benchmark counters
 // (rounds, ratios, phases, bits) — the quantities the paper's theorems bound.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.hpp"
@@ -13,6 +15,10 @@
 #include "steiner/instance.hpp"
 
 namespace dsf::bench {
+
+// Raw key=value parameters for the workload registries
+// (workload/generators.hpp, workload/samplers.hpp).
+using ParamList = std::vector<std::pair<std::string, std::string>>;
 
 // Spreads 2 terminals per component across the node range, deterministically
 // but "randomly" w.r.t. the seed, avoiding collisions.

@@ -2,6 +2,11 @@
 // (randomized: Õ(k + min{s,√n} + D) rounds): round counts as the number of
 // input components k grows on a fixed graph.
 //
+// Topologies come from the workload registry (`cycle` and `er`); the
+// clustered instance below is bespoke — it pins components to disjoint
+// cycle arcs, which no generic sampler should promise — while the mingled
+// series draws from the `random-ic` sampler.
+//
 // Expected shape: the deterministic series grows ~linearly in k (the sk
 // term); the randomized series grows only additively in k — the separation
 // the paper's Section 5 achieves over Section 4.
@@ -10,15 +15,29 @@
 #include "bench_common.hpp"
 #include "dist/det_moat.hpp"
 #include "dist/randomized.hpp"
+#include "workload/generators.hpp"
+#include "workload/samplers.hpp"
 
 namespace dsf {
 namespace {
 
 constexpr int kNodes = 96;
 
+Graph CycleGraph() {
+  return BuildGenerator("cycle", bench::ParamList{{"n", std::to_string(kNodes)}},
+                        1);
+}
+
 Graph FixedGraph() {
-  SplitMix64 rng(2024);
-  return MakeConnectedRandom(kNodes, 0.05, 1, 32, rng);
+  const bench::ParamList params = {
+      {"n", std::to_string(kNodes)}, {"p", "0.05"}, {"min_w", "1"},
+      {"max_w", "32"}};
+  return BuildGenerator("er", params, 2024);
+}
+
+IcInstance SpreadInstance(const Graph& g, int k, std::uint64_t seed) {
+  const bench::ParamList params = {{"k", std::to_string(k)}, {"tpc", "2"}};
+  return SampleInstance("random-ic", g, params, seed).ic;
 }
 
 // Segment-clustered components on a cycle: component c's two terminals sit in
@@ -40,8 +59,7 @@ IcInstance ClusteredOnCycle(int n, int k) {
 
 void BM_DetRoundsVsKClustered(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
-  SplitMix64 rng(7);
-  const Graph g = MakeCycle(kNodes);
+  const Graph g = CycleGraph();
   const IcInstance ic = ClusteredOnCycle(kNodes, k);
   for (auto _ : state) {
     const auto res = RunDistributedMoat(g, ic, {}, 1);
@@ -60,7 +78,7 @@ BENCHMARK(BM_DetRoundsVsKClustered)
 
 void BM_RandRoundsVsKClustered(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
-  const Graph g = MakeCycle(kNodes);
+  const Graph g = CycleGraph();
   const IcInstance ic = ClusteredOnCycle(kNodes, k);
   for (auto _ : state) {
     const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
@@ -80,8 +98,8 @@ BENCHMARK(BM_RandRoundsVsKClustered)
 void BM_DetRoundsVsK(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const Graph g = FixedGraph();
-  SplitMix64 rng(7 * static_cast<std::uint64_t>(k) + 3);
-  const IcInstance ic = bench::SpreadComponents(kNodes, k, rng);
+  const IcInstance ic =
+      SpreadInstance(g, k, 7 * static_cast<std::uint64_t>(k) + 3);
   for (auto _ : state) {
     const auto res = RunDistributedMoat(g, ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);
@@ -97,8 +115,8 @@ BENCHMARK(BM_DetRoundsVsK)->DenseRange(1, 10)->Iterations(1)->Unit(benchmark::kM
 void BM_RandRoundsVsK(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const Graph g = FixedGraph();
-  SplitMix64 rng(7 * static_cast<std::uint64_t>(k) + 3);
-  const IcInstance ic = bench::SpreadComponents(kNodes, k, rng);
+  const IcInstance ic =
+      SpreadInstance(g, k, 7 * static_cast<std::uint64_t>(k) + 3);
   for (auto _ : state) {
     const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);

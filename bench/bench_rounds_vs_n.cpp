@@ -1,32 +1,61 @@
 // E5 (n-sweep) — scaling of both algorithms with the network size n at fixed
 // k, on sparse random graphs (where s and D grow slowly with n).
 //
+// Workloads come from the registry layer (workload/): the `er` generator at
+// expected degree 6 and the `random-ic` sampler, so this bench sweeps the
+// same named family a scenario file would via `generate er ...`.
+//
 // Expected shape: rounds grow far slower than n for both algorithms; the
 // randomized algorithm tracks Õ(k + min{s,√n} + D), the deterministic one
 // Õ(sk + √(min{st,n})) — see EXPERIMENTS.md for the recorded series.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "bench_common.hpp"
 #include "dist/det_moat.hpp"
 #include "dist/randomized.hpp"
+#include "workload/generators.hpp"
+#include "workload/samplers.hpp"
 
 namespace dsf {
 namespace {
 
+// Sparse connected ER graph with expected extra degree ~6 plus a 4-component
+// random terminal spread, both drawn from the registries.
+struct NSweepWorkload {
+  Graph graph;
+  IcInstance ic;
+};
+
+NSweepWorkload BuildWorkload(int n) {
+  std::ostringstream p;
+  p << 6.0 / n;
+  const bench::ParamList graph_params = {
+      {"n", std::to_string(n)}, {"p", p.str()}, {"min_w", "1"},
+      {"max_w", "32"}};
+  NSweepWorkload w;
+  w.graph = BuildGenerator("er", graph_params,
+                           static_cast<std::uint64_t>(n) * 31 + 7);
+  const bench::ParamList inst_params = {{"k", "4"}, {"tpc", "2"}};
+  w.ic = SampleInstance("random-ic", w.graph, inst_params,
+                        static_cast<std::uint64_t>(n) * 31 + 8)
+             .ic;
+  return w;
+}
+
 void BM_DetRoundsVsN(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
-  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
-  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  const NSweepWorkload w = BuildWorkload(n);
   for (auto _ : state) {
-    const auto res = RunDistributedMoat(g, ic, {}, 1);
+    const auto res = RunDistributedMoat(w.graph, w.ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);
     state.counters["rounds_per_n"] =
         static_cast<double>(res.stats.rounds) / n;
     state.counters["max_bits_edge_round"] =
         static_cast<double>(res.stats.max_bits_per_edge_round);
   }
-  bench::ReportGraphParams(state, g);
+  bench::ReportGraphParams(state, w.graph);
 }
 BENCHMARK(BM_DetRoundsVsN)
     ->Arg(32)
@@ -38,17 +67,15 @@ BENCHMARK(BM_DetRoundsVsN)
 
 void BM_RandRoundsVsN(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  SplitMix64 rng(static_cast<std::uint64_t>(n) * 31 + 7);
-  const Graph g = MakeConnectedRandom(n, 6.0 / n, 1, 32, rng);
-  const IcInstance ic = bench::SpreadComponents(n, 4, rng);
+  const NSweepWorkload w = BuildWorkload(n);
   for (auto _ : state) {
-    const auto res = RunRandomizedSteinerForest(g, ic, {}, 1);
+    const auto res = RunRandomizedSteinerForest(w.graph, w.ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);
     state.counters["le_rounds"] = static_cast<double>(res.le_rounds);
     state.counters["rounds_per_n"] =
         static_cast<double>(res.stats.rounds) / n;
   }
-  bench::ReportGraphParams(state, g);
+  bench::ReportGraphParams(state, w.graph);
 }
 BENCHMARK(BM_RandRoundsVsN)
     ->Arg(32)

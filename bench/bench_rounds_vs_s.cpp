@@ -2,8 +2,11 @@
 // shortest-path diameter s, at (nearly) fixed k and D.
 //
 // Two workloads:
-//  * Subdivided random graphs: every edge split into `pieces` segments
-//    multiplies s while preserving the metric shape.
+//  * The registry's `subdivided-er` family: every edge of an ER base split
+//    into `pieces` segments multiplies s while preserving the metric shape.
+//    The `random-ic` sampler draws terminals with span=24 — base node ids
+//    are the id prefix of the subdivided graph, so every subdivision depth
+//    sees the *same* terminal set and only s varies.
 //  * The Lemma 3.4 path gadget: t = 2, k = 1, D = O(1), s = path length —
 //    the regime where the Ω̃(min{s,√n}) lower bound bites. Both our
 //    algorithms must (and do) scale with s here; the randomized one caps the
@@ -14,47 +17,55 @@
 #include "dist/det_moat.hpp"
 #include "dist/randomized.hpp"
 #include "lowerbounds/gadgets.hpp"
+#include "workload/generators.hpp"
+#include "workload/samplers.hpp"
 
 namespace dsf {
 namespace {
 
+constexpr int kBaseNodes = 24;
+
+struct SSweepWorkload {
+  Graph graph;
+  IcInstance ic;
+};
+
+SSweepWorkload BuildWorkload(int pieces) {
+  const bench::ParamList graph_params = {
+      {"n", std::to_string(kBaseNodes)}, {"p", "0.12"}, {"min_w", "1"},
+      {"max_w", "8"}, {"pieces", std::to_string(pieces)}};
+  SSweepWorkload w;
+  w.graph = BuildGenerator("subdivided-er", graph_params, 99);
+  // span pins the draw to the base nodes: identical terminals at every
+  // subdivision depth.
+  const bench::ParamList inst_params = {
+      {"k", "3"}, {"tpc", "2"}, {"span", std::to_string(kBaseNodes)}};
+  w.ic = SampleInstance("random-ic", w.graph, inst_params, 5).ic;
+  return w;
+}
+
 void BM_DetRoundsVsS(benchmark::State& state) {
   const int pieces = static_cast<int>(state.range(0));
-  SplitMix64 rng(99);
-  const Graph base = MakeConnectedRandom(24, 0.12, 1, 8, rng);
-  const Graph g = SubdivideEdges(base, pieces);
-  SplitMix64 trng(5);
-  // Terminals on original nodes (ids preserved by SubdivideEdges).
-  const IcInstance ic = bench::SpreadComponents(24, 3, trng);
-  IcInstance lifted;
-  lifted.labels.assign(static_cast<std::size_t>(g.NumNodes()), kNoLabel);
-  std::copy(ic.labels.begin(), ic.labels.end(), lifted.labels.begin());
+  const SSweepWorkload w = BuildWorkload(pieces);
   for (auto _ : state) {
-    const auto res = RunDistributedMoat(g, lifted, {}, 1);
+    const auto res = RunDistributedMoat(w.graph, w.ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);
     state.counters["phases"] = res.phases;
   }
-  bench::ReportGraphParams(state, g);
+  bench::ReportGraphParams(state, w.graph);
 }
 BENCHMARK(BM_DetRoundsVsS)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_RandRoundsVsS(benchmark::State& state) {
   const int pieces = static_cast<int>(state.range(0));
-  SplitMix64 rng(99);
-  const Graph base = MakeConnectedRandom(24, 0.12, 1, 8, rng);
-  const Graph g = SubdivideEdges(base, pieces);
-  SplitMix64 trng(5);
-  const IcInstance ic = bench::SpreadComponents(24, 3, trng);
-  IcInstance lifted;
-  lifted.labels.assign(static_cast<std::size_t>(g.NumNodes()), kNoLabel);
-  std::copy(ic.labels.begin(), ic.labels.end(), lifted.labels.begin());
+  const SSweepWorkload w = BuildWorkload(pieces);
   for (auto _ : state) {
-    const auto res = RunRandomizedSteinerForest(g, lifted, {}, 1);
+    const auto res = RunRandomizedSteinerForest(w.graph, w.ic, {}, 1);
     state.counters["rounds"] = static_cast<double>(res.stats.rounds);
     state.counters["charged"] = static_cast<double>(res.stats.charged_rounds);
     state.counters["truncated"] = res.truncated ? 1 : 0;
   }
-  bench::ReportGraphParams(state, g);
+  bench::ReportGraphParams(state, w.graph);
 }
 BENCHMARK(BM_RandRoundsVsS)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
 

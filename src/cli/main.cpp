@@ -1,14 +1,17 @@
-// `dsf` — command-line front end of the solver engine (DESIGN.md §3).
+// `dsf` — command-line front end of the solver engine (DESIGN.md §3, §4).
 //
-// Loads a scenario file (cli/scenario.hpp: one graph + named IC/CR
-// instances), builds the instance × solver request matrix, executes it on
-// the BatchEngine, and emits one JSON document with per-request results and
-// batch aggregates. Exit status is 0 iff every output was feasible.
+// Loads a workload file (workload/spec.hpp: hand-written graphs, registry
+// generators with sweep axes, SteinLib/DIMACS imports — each with named or
+// sampled IC/CR instances), expands it into concrete cases, builds the
+// case × instance × solver request matrix, executes it on the BatchEngine,
+// and emits one JSON document with per-request results and batch
+// aggregates. Exit status is 0 iff every output was feasible.
 //
 //   dsf --scenario FILE [--solvers all|name,name,...] [--seed N]
 //       [--threads N] [--epsilon X] [--repetitions N] [--reference]
 //       [--no-prune] [--json FILE]
 //   dsf --list-solvers
+//   dsf --list-generators
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -20,10 +23,12 @@
 #include <vector>
 
 #include "cli/json.hpp"
-#include "cli/scenario.hpp"
 #include "solve/batch.hpp"
 #include "solve/solver.hpp"
 #include "steiner/exact.hpp"
+#include "workload/generators.hpp"
+#include "workload/samplers.hpp"
+#include "workload/spec.hpp"
 
 namespace dsf {
 namespace {
@@ -31,7 +36,8 @@ namespace {
 struct CliArgs {
   std::string scenario_path;
   std::vector<std::string> solvers;  // empty => all registered
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 0;
+  bool seed_set = false;  // --seed given: overrides the scenario-level seed
   int threads = 1;
   Real epsilon = 0.0L;
   int repetitions = 1;
@@ -39,6 +45,7 @@ struct CliArgs {
   bool prune = true;
   std::string json_path;  // empty => stdout
   bool list_solvers = false;
+  bool list_generators = false;
   bool help = false;
 };
 
@@ -46,14 +53,18 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: dsf --scenario FILE [options]\n"
                "       dsf --list-solvers\n"
+               "       dsf --list-generators\n"
                "\n"
                "options:\n"
-               "  --scenario FILE     scenario file (graph + ic/cr instances)\n"
+               "  --scenario FILE     workload file (graph sources, sweeps,"
+               " ic/cr/sampled\n"
+               "                      instances); a bare SteinLib .stp file"
+               " also works\n"
                "  --solvers LIST      comma-separated solver names, or 'all'"
                " (default)\n"
-               "  --seed N            master seed; request i uses"
-               " DeriveSeed(N, i); 0 keeps\n"
-               "                      every request's default seed\n"
+               "  --seed N            overrides the scenario-level seed"
+               " (workload expansion\n"
+               "                      and request master seed)\n"
                "  --threads N         batch executors (0 = hardware"
                " concurrency)\n"
                "  --epsilon X         Algorithm 2 epsilon for the moat"
@@ -64,7 +75,10 @@ void PrintUsage(std::FILE* out) {
                "  --no-prune          skip minimal-subforest pruning\n"
                "  --json FILE         write the JSON document to FILE"
                " (default stdout)\n"
-               "  --list-solvers      print the registry and exit\n");
+               "  --list-solvers      print the solver registry and exit\n"
+               "  --list-generators   print the generator and sampler"
+               " registries with\n"
+               "                      their parameter schemas and exit\n");
 }
 
 // Strict numeric parsing: trailing garbage and overflow are usage errors,
@@ -126,6 +140,8 @@ bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
       args.help = true;
     } else if (flag == "--list-solvers") {
       args.list_solvers = true;
+    } else if (flag == "--list-generators") {
+      args.list_generators = true;
     } else if (flag == "--scenario") {
       const char* v = need_value(i);
       if (!v) return false;
@@ -143,6 +159,13 @@ bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
     } else if (flag == "--seed") {
       const char* v = need_value(i);
       if (!v || !ParseU64("--seed", v, args.seed, error)) return false;
+      // 0 is BatchEngine's "keep per-request seeds" sentinel; accepting it
+      // would silently stop deriving per-request seeds.
+      if (args.seed == 0) {
+        error = "--seed must be >= 1";
+        return false;
+      }
+      args.seed_set = true;
     } else if (flag == "--threads") {
       const char* v = need_value(i);
       long long threads = 0;
@@ -184,11 +207,13 @@ bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
   return true;
 }
 
-void WriteResult(JsonWriter& json, const ScenarioInstance& inst,
-                 const SolveResult& r) {
+void WriteResult(JsonWriter& json, const WorkloadCase& wc,
+                 const WorkloadInstance& inst, const SolveResult& r) {
   json.BeginObject();
   json.Key("solver");
   json.String(r.solver);
+  json.Key("case");
+  json.String(wc.name);
   json.Key("instance");
   json.String(inst.name);
   json.Key("input");
@@ -235,7 +260,9 @@ void WriteResult(JsonWriter& json, const ScenarioInstance& inst,
 }
 
 int RunCli(const CliArgs& args) {
-  const Scenario scenario = LoadScenario(args.scenario_path);
+  WorkloadSpec spec = LoadWorkloadSpec(args.scenario_path);
+  if (args.seed_set) spec.seed = args.seed;
+  const Workload workload = ExpandWorkload(spec);
 
   std::vector<std::string> solver_names = args.solvers;
   if (solver_names.empty()) {
@@ -247,51 +274,37 @@ int RunCli(const CliArgs& args) {
     (void)SolverRegistry::Get(name);  // fail fast (lists the known names)
   }
 
-  // Request matrix: every instance under every selected solver. The exact
-  // reference is NOT computed inside the pipeline here — it depends only on
-  // the instance, so it is solved once per instance below instead of once
-  // per (instance, solver) pair.
-  std::vector<SolveRequest> requests;
-  std::vector<const ScenarioInstance*> request_instance;
-  for (const auto& name : solver_names) {
-    for (const auto& inst : scenario.instances) {
-      SolveRequest req;
-      req.solver = name;
-      req.graph = &scenario.graph;
-      req.use_cr = inst.use_cr;
-      if (inst.use_cr) {
-        req.cr = inst.cr;
-      } else {
-        req.ic = inst.ic;
-      }
-      req.options.epsilon = args.epsilon;
-      req.options.repetitions = args.repetitions;
-      req.options.prune = args.prune;
-      req.options.validate = true;
-      requests.push_back(std::move(req));
-      request_instance.push_back(&inst);
-    }
-  }
+  SolveOptions base;
+  base.epsilon = args.epsilon;
+  base.repetitions = args.repetitions;
+  base.prune = args.prune;
+  base.validate = true;
+  RequestMatrix matrix = BuildRequests(workload, solver_names, base);
 
   BatchOptions bopt;
   bopt.threads = args.threads;
-  bopt.master_seed = args.seed;
+  bopt.master_seed = spec.seed;
   BatchEngine engine(bopt);
-  std::vector<SolveResult> results = engine.Run(requests);
+  std::vector<SolveResult> results = engine.Run(matrix.requests);
   const BatchStats& stats = engine.LastStats();
 
   if (args.reference) {
-    std::vector<Weight> reference;
-    reference.reserve(scenario.instances.size());
-    for (const auto& inst : scenario.instances) {
-      reference.push_back(ExactSteinerForestWeight(
-          scenario.graph, inst.use_cr ? CrToIc(inst.cr) : inst.ic));
+    // The exact reference depends only on the (case, instance) cell, so it
+    // is solved once per cell instead of once per cell x solver.
+    std::vector<std::vector<Weight>> reference(workload.cases.size());
+    for (std::size_t c = 0; c < workload.cases.size(); ++c) {
+      const WorkloadCase& wc = workload.cases[c];
+      reference[c].reserve(wc.instances.size());
+      for (const WorkloadInstance& inst : wc.instances) {
+        reference[c].push_back(ExactSteinerForestWeight(
+            wc.graph, inst.use_cr ? CrToIc(inst.cr) : inst.ic));
+      }
     }
     for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto inst_idx = static_cast<std::size_t>(
-          request_instance[i] - scenario.instances.data());
       SolveResult& r = results[i];
-      r.reference_weight = reference[inst_idx];
+      r.reference_weight =
+          reference[static_cast<std::size_t>(matrix.case_index[i])]
+                   [static_cast<std::size_t>(matrix.instance_index[i])];
       if (r.reference_weight > 0 && r.reference_weight < kInfWeight) {
         r.approx_ratio = static_cast<double>(r.weight) /
                          static_cast<double>(r.reference_weight);
@@ -315,17 +328,27 @@ int RunCli(const CliArgs& args) {
   json.BeginObject();
   json.Key("scenario");
   json.String(args.scenario_path);
-  json.Key("graph");
-  json.BeginObject();
-  json.Key("n");
-  json.Int(scenario.graph.NumNodes());
-  json.Key("m");
-  json.Int(scenario.graph.NumEdges());
-  json.Key("total_weight");
-  json.Int(static_cast<long long>(scenario.graph.TotalWeight()));
-  json.EndObject();
   json.Key("seed");
-  json.UInt(args.seed);
+  json.UInt(spec.seed);
+  json.Key("cases");
+  json.BeginArray();
+  for (const WorkloadCase& wc : workload.cases) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(wc.name);
+    json.Key("source");
+    json.String(wc.source);
+    json.Key("n");
+    json.Int(wc.graph.NumNodes());
+    json.Key("m");
+    json.Int(wc.graph.NumEdges());
+    json.Key("total_weight");
+    json.Int(static_cast<long long>(wc.graph.TotalWeight()));
+    json.Key("instances");
+    json.Int(static_cast<long long>(wc.instances.size()));
+    json.EndObject();
+  }
+  json.EndArray();
   json.Key("solvers");
   json.BeginArray();
   for (const auto& name : solver_names) json.String(name);
@@ -333,7 +356,11 @@ int RunCli(const CliArgs& args) {
   json.Key("results");
   json.BeginArray();
   for (std::size_t i = 0; i < results.size(); ++i) {
-    WriteResult(json, *request_instance[i], results[i]);
+    const WorkloadCase& wc =
+        workload.cases[static_cast<std::size_t>(matrix.case_index[i])];
+    const WorkloadInstance& inst =
+        wc.instances[static_cast<std::size_t>(matrix.instance_index[i])];
+    WriteResult(json, wc, inst, results[i]);
   }
   json.EndArray();
   json.Key("batch");
@@ -364,13 +391,18 @@ int RunCli(const CliArgs& args) {
   }
 
   if (!args.json_path.empty()) {
-    std::printf("%-10s  %-12s %-5s %10s %8s %9s %8s\n", "solver", "instance",
-                "input", "weight", "ok", "rounds", "wall_ms");
+    std::printf("%-10s  %-18s %-14s %-5s %10s %8s %9s %8s\n", "solver",
+                "case", "instance", "input", "weight", "ok", "rounds",
+                "wall_ms");
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
-      std::printf("%-10s  %-12s %-5s %10lld %8s %9ld %8.2f\n",
-                  r.solver.c_str(), request_instance[i]->name.c_str(),
-                  request_instance[i]->use_cr ? "cr" : "ic",
+      const WorkloadCase& wc =
+          workload.cases[static_cast<std::size_t>(matrix.case_index[i])];
+      const WorkloadInstance& inst =
+          wc.instances[static_cast<std::size_t>(matrix.instance_index[i])];
+      std::printf("%-10s  %-18s %-14s %-5s %10lld %8s %9ld %8.2f\n",
+                  r.solver.c_str(), wc.name.c_str(), inst.name.c_str(),
+                  inst.use_cr ? "cr" : "ic",
                   static_cast<long long>(r.weight),
                   r.feasible ? "yes" : "NO", r.stats.rounds, r.wall_ms);
     }
@@ -380,6 +412,28 @@ int RunCli(const CliArgs& args) {
                 stats.p50_ms, stats.p95_ms, args.json_path.c_str());
   }
   return stats.infeasible == 0 ? 0 : 1;
+}
+
+void PrintGenerators() {
+  std::printf("generators (graph sources for 'generate <family> k=v ...'):\n");
+  for (const auto name : GeneratorRegistry::Names()) {
+    const GeneratorFamily& f = GeneratorRegistry::Get(name);
+    std::printf("  %-14s %s\n", std::string(name).c_str(),
+                std::string(f.description).c_str());
+    for (const ParamSpec& p : f.params) {
+      std::printf("      %s\n", DescribeParam(p).c_str());
+    }
+  }
+  std::printf("\nsamplers (instances for 'sample <sampler> <name> k=v "
+              "...'):\n");
+  for (const auto name : SamplerRegistry::Names()) {
+    const InstanceSampler& s = SamplerRegistry::Get(name);
+    std::printf("  %-14s %s\n", std::string(name).c_str(),
+                std::string(s.description).c_str());
+    for (const ParamSpec& p : s.params) {
+      std::printf("      %s\n", DescribeParam(p).c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -404,6 +458,10 @@ int main(int argc, char** argv) {
                   s.Distributed() ? "[dist]" : "[cent]",
                   std::string(s.Description()).c_str());
     }
+    return 0;
+  }
+  if (args.list_generators) {
+    dsf::PrintGenerators();
     return 0;
   }
   if (args.scenario_path.empty()) {

@@ -1,8 +1,5 @@
 #include "cli/scenario.hpp"
 
-#include <fstream>
-#include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -10,164 +7,26 @@ namespace dsf {
 
 namespace {
 
-// Scenario files are hand-written serving inputs, not a bulk graph format;
-// the cap exists so out-of-range node counts fail instead of truncating.
-constexpr long long kMaxScenarioNodes = 10'000'000;
-
-[[noreturn]] void Fail(const std::string& origin, int line,
-                       const std::string& what) {
-  std::ostringstream os;
-  os << origin << ":" << line << ": " << what;
-  throw std::runtime_error(os.str());
+Scenario SingleCase(Workload workload, const std::string& origin) {
+  if (workload.cases.size() != 1) {
+    throw std::runtime_error(
+        origin + ": expands to " + std::to_string(workload.cases.size()) +
+        " cases; the scenario API takes exactly one (use LoadWorkload)");
+  }
+  Scenario scenario;
+  scenario.graph = std::move(workload.cases[0].graph);
+  scenario.instances = std::move(workload.cases[0].instances);
+  return scenario;
 }
-
-// The pending (mutable) instance: terminals/pairs accumulate here and are
-// materialized into IcInstance / CrInstance when the instance closes.
-struct PendingInstance {
-  std::string name;
-  bool use_cr = false;
-  std::vector<std::pair<NodeId, Label>> terminals;
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-};
 
 }  // namespace
 
 Scenario ParseScenario(std::istream& in, const std::string& origin) {
-  Scenario scenario;
-  std::vector<Edge> edges;
-  int n = -1;
-  bool have_instance = false;
-  PendingInstance pending;
-
-  const auto flush_instance = [&](int line) {
-    if (!have_instance) return;
-    ScenarioInstance inst;
-    inst.name = pending.name;
-    inst.use_cr = pending.use_cr;
-    if (pending.use_cr) {
-      if (pending.pairs.empty()) {
-        Fail(origin, line, "cr instance '" + pending.name + "' has no pairs");
-      }
-      inst.cr = MakeCrInstance(n, pending.pairs);
-    } else {
-      if (pending.terminals.empty()) {
-        Fail(origin, line,
-             "ic instance '" + pending.name + "' has no terminals");
-      }
-      inst.ic = MakeIcInstance(n, pending.terminals);
-    }
-    scenario.instances.push_back(std::move(inst));
-    pending = PendingInstance{};
-  };
-
-  std::string raw;
-  int line = 0;
-  while (std::getline(in, raw)) {
-    ++line;
-    if (const auto hash = raw.find('#'); hash != std::string::npos) {
-      raw.erase(hash);
-    }
-    std::istringstream fields(raw);
-    std::string directive;
-    if (!(fields >> directive)) continue;  // blank / comment-only line
-
-    const auto want_long = [&](const char* what) -> long long {
-      long long value = 0;
-      if (!(fields >> value)) {
-        Fail(origin, line, std::string("expected ") + what + " after '" +
-                               directive + "'");
-      }
-      return value;
-    };
-    const auto want_node = [&](const char* what) -> NodeId {
-      const long long value = want_long(what);
-      if (n < 0) Fail(origin, line, "'graph <n>' must come first");
-      if (value < 0 || value >= n) {
-        Fail(origin, line, std::string(what) + " " + std::to_string(value) +
-                               " out of range [0, " + std::to_string(n) + ")");
-      }
-      return static_cast<NodeId>(value);
-    };
-
-    if (directive == "graph") {
-      if (n >= 0) Fail(origin, line, "duplicate 'graph' directive");
-      const long long value = want_long("node count");
-      // Range-check before narrowing: 2^32+3 must not truncate to n=3.
-      if (value <= 0 || value > kMaxScenarioNodes) {
-        Fail(origin, line, "graph needs n in [1, " +
-                               std::to_string(kMaxScenarioNodes) + "]");
-      }
-      n = static_cast<int>(value);
-    } else if (directive == "edge") {
-      const NodeId u = want_node("endpoint");
-      const NodeId v = want_node("endpoint");
-      const long long w = want_long("weight");
-      if (u == v) Fail(origin, line, "self-loop");
-      if (w < 1) Fail(origin, line, "edge weight must be >= 1");
-      edges.push_back({u, v, static_cast<Weight>(w)});
-    } else if (directive == "ic" || directive == "cr") {
-      if (n < 0) Fail(origin, line, "'graph <n>' must come first");
-      std::string name;
-      if (!(fields >> name)) Fail(origin, line, "instance needs a name");
-      flush_instance(line);
-      have_instance = true;
-      pending.name = name;
-      pending.use_cr = directive == "cr";
-    } else if (directive == "terminal") {
-      if (!have_instance || pending.use_cr) {
-        Fail(origin, line, "'terminal' outside an ic instance");
-      }
-      const NodeId v = want_node("node");
-      const long long label = want_long("label");
-      if (label < 1 || label > std::numeric_limits<Label>::max()) {
-        Fail(origin, line, "labels must be in [1, " +
-                               std::to_string(
-                                   std::numeric_limits<Label>::max()) +
-                               "]");
-      }
-      // A node holds exactly one label (Definition 2.2); letting a second
-      // directive win silently would drop the first membership.
-      for (const auto& [seen, _] : pending.terminals) {
-        if (seen == v) {
-          Fail(origin, line,
-               "node " + std::to_string(v) + " is already a terminal of '" +
-                   pending.name + "'");
-        }
-      }
-      pending.terminals.push_back({v, static_cast<Label>(label)});
-    } else if (directive == "pair") {
-      if (!have_instance || !pending.use_cr) {
-        Fail(origin, line, "'pair' outside a cr instance");
-      }
-      const NodeId u = want_node("node");
-      const NodeId v = want_node("node");
-      if (u == v) Fail(origin, line, "a node cannot request itself");
-      for (const auto& [a, b] : pending.pairs) {
-        if ((a == u && b == v) || (a == v && b == u)) {
-          Fail(origin, line, "duplicate pair in '" + pending.name + "'");
-        }
-      }
-      pending.pairs.push_back({u, v});
-    } else {
-      Fail(origin, line, "unknown directive '" + directive + "'");
-    }
-    std::string trailing;
-    if (fields >> trailing) {
-      Fail(origin, line, "trailing tokens after '" + directive + "'");
-    }
-  }
-  if (n < 0) Fail(origin, line, "no 'graph' directive");
-  flush_instance(line);
-  if (scenario.instances.empty()) Fail(origin, line, "no instances");
-
-  scenario.graph = MakeGraph(n, edges);
-  return scenario;
+  return SingleCase(ExpandWorkload(ParseWorkloadSpec(in, origin)), origin);
 }
 
 Scenario LoadScenario(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot read scenario file: " + path);
-  return ParseScenario(in, path);
+  return SingleCase(LoadWorkload(path), path);
 }
 
 }  // namespace dsf

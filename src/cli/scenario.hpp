@@ -1,15 +1,13 @@
-// Scenario files: the `dsf` CLI's input format — one weighted graph plus any
-// number of named instances, in either input form of the paper (DSF-IC
-// terminals with labels, Definition 2.2; DSF-CR connection-request pairs,
-// Definition 2.1). Line-oriented text; `#` starts a comment; blank lines are
-// ignored:
+// Single-topology view of a workload file (workload/spec.hpp) — the
+// original `dsf` scenario shape: one weighted graph plus any number of
+// named instances, in either input form of the paper (DSF-IC terminals with
+// labels, Definition 2.2; DSF-CR connection-request pairs, Definition 2.1).
 //
-//   graph <n>            # required first directive; nodes are 0..n-1
-//   edge <u> <v> <w>     # undirected, weight >= 1
-//   ic <name>            # begins a DSF-IC instance
-//   terminal <v> <label> # terminal of the current ic instance (label >= 1)
-//   cr <name>            # begins a DSF-CR instance
-//   pair <u> <v>         # symmetric connection request of the current cr
+// Parsing and expansion live in the workload layer; these wrappers exist
+// for callers that want exactly one graph (library users, tests). Files
+// using the multi-case directives (`generate`, `import`, `sweep`, ...) that
+// expand to a single case load fine; multi-case workloads are rejected —
+// use LoadWorkload directly for those.
 //
 // Parse errors throw std::runtime_error naming the offending line.
 #pragma once
@@ -19,16 +17,13 @@
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "steiner/instance.hpp"
+#include "workload/samplers.hpp"
+#include "workload/spec.hpp"
 
 namespace dsf {
 
-struct ScenarioInstance {
-  std::string name;
-  bool use_cr = false;
-  IcInstance ic;  // populated when !use_cr
-  CrInstance cr;  // populated when use_cr
-};
+// One named instance; `name`, `use_cr`, and the matching `ic`/`cr` member.
+using ScenarioInstance = WorkloadInstance;
 
 struct Scenario {
   Graph graph;  // finalized

@@ -2,7 +2,7 @@
 //
 // The CONGEST model grants each node an unlimited supply of independent random
 // bits; we derive per-node streams from a master seed via SplitMix64 so that
-// every experiment is bit-reproducible (DESIGN.md §6).
+// every experiment is bit-reproducible (DESIGN.md §7).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,269 @@
+#include "workload/generators.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "graph/generators.hpp"
+
+namespace dsf {
+
+namespace {
+
+using Kind = ParamSpec::Kind;
+
+// Caps keep a single `generate` line from allocating the machine: the dense
+// families track an n x n presence matrix, so their n is bounded tighter
+// than the linear ones.
+constexpr long long kMaxNodes = 1'000'000;
+constexpr long long kMaxDenseNodes = 8'192;
+constexpr long long kMaxWeight = 1'000'000;
+
+constexpr ParamSpec kSaltSpec{
+    "salt", Kind::kInt,
+    "replication index folded into the seed (sweep it to redraw)", 0, 0,
+    1'000'000'000};
+
+[[noreturn]] void FailFamily(std::string_view family, const std::string& what) {
+  throw std::runtime_error("generator '" + std::string(family) + "': " + what);
+}
+
+// Shared cross-field check for the families with [min_w, max_w] weights.
+void CheckWeightRange(std::string_view family, const ParamMap& pm) {
+  if (pm.GetInt("min_w") > pm.GetInt("max_w")) {
+    FailFamily(family, "min_w must be <= max_w");
+  }
+}
+
+int IntParam(const ParamMap& pm, std::string_view name) {
+  return static_cast<int>(pm.GetInt(name));
+}
+
+Weight WeightParam(const ParamMap& pm, std::string_view name) {
+  return static_cast<Weight>(pm.GetInt(name));
+}
+
+// --- family parameter schemas & build functions ------------------------------
+
+constexpr ParamSpec kPathParams[] = {
+    {"n", Kind::kInt, "number of nodes", 32, 2, kMaxNodes},
+    {"w", Kind::kInt, "edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildPath(const ParamMap& pm, std::uint64_t) {
+  return MakePath(IntParam(pm, "n"), WeightParam(pm, "w"));
+}
+
+constexpr ParamSpec kCycleParams[] = {
+    {"n", Kind::kInt, "number of nodes", 32, 3, kMaxNodes},
+    {"w", Kind::kInt, "edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildCycle(const ParamMap& pm, std::uint64_t) {
+  return MakeCycle(IntParam(pm, "n"), WeightParam(pm, "w"));
+}
+
+constexpr ParamSpec kStarParams[] = {
+    {"n", Kind::kInt, "number of nodes (center + n-1 leaves)", 32, 2,
+     kMaxNodes},
+    {"w", Kind::kInt, "edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildStar(const ParamMap& pm, std::uint64_t) {
+  return MakeStar(IntParam(pm, "n"), WeightParam(pm, "w"));
+}
+
+constexpr ParamSpec kGridParams[] = {
+    {"rows", Kind::kInt, "grid rows", 8, 1, 4096},
+    {"cols", Kind::kInt, "grid columns", 8, 1, 4096},
+    {"min_w", Kind::kInt, "minimum edge weight", 1, 1, kMaxWeight},
+    {"max_w", Kind::kInt, "maximum edge weight", 8, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildGrid(const ParamMap& pm, std::uint64_t seed) {
+  CheckWeightRange("grid", pm);
+  if (pm.GetInt("rows") * pm.GetInt("cols") > kMaxNodes) {
+    FailFamily("grid", "rows * cols exceeds " + std::to_string(kMaxNodes));
+  }
+  SplitMix64 rng(seed);
+  return MakeGrid(IntParam(pm, "rows"), IntParam(pm, "cols"),
+                  WeightParam(pm, "min_w"), WeightParam(pm, "max_w"), rng);
+}
+
+constexpr ParamSpec kCompleteParams[] = {
+    {"n", Kind::kInt, "number of nodes", 16, 1, 1024},
+    {"min_w", Kind::kInt, "minimum edge weight", 1, 1, kMaxWeight},
+    {"max_w", Kind::kInt, "maximum edge weight", 8, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildComplete(const ParamMap& pm, std::uint64_t seed) {
+  CheckWeightRange("complete", pm);
+  SplitMix64 rng(seed);
+  return MakeComplete(IntParam(pm, "n"), WeightParam(pm, "min_w"),
+                      WeightParam(pm, "max_w"), rng);
+}
+
+constexpr ParamSpec kErParams[] = {
+    {"n", Kind::kInt, "number of nodes", 32, 1, kMaxDenseNodes},
+    {"p", Kind::kReal, "edge probability on top of a random spanning tree",
+     0.1, 0.0, 1.0},
+    {"min_w", Kind::kInt, "minimum edge weight", 1, 1, kMaxWeight},
+    {"max_w", Kind::kInt, "maximum edge weight", 8, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildEr(const ParamMap& pm, std::uint64_t seed) {
+  CheckWeightRange("er", pm);
+  SplitMix64 rng(seed);
+  return MakeConnectedRandom(IntParam(pm, "n"), pm.GetReal("p"),
+                             WeightParam(pm, "min_w"),
+                             WeightParam(pm, "max_w"), rng);
+}
+
+constexpr ParamSpec kGeometricParams[] = {
+    {"n", Kind::kInt, "number of points in the unit square", 32, 1, 4096},
+    {"radius", Kind::kReal, "connection radius", 0.25, 0.0, 2.0},
+    {"scale", Kind::kInt, "weight = max(1, round(distance * scale))", 100, 1,
+     kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildGeometric(const ParamMap& pm, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  return MakeRandomGeometric(IntParam(pm, "n"), pm.GetReal("radius"),
+                             WeightParam(pm, "scale"), rng);
+}
+
+constexpr ParamSpec kTreeChordsParams[] = {
+    {"n", Kind::kInt, "tree nodes (heap-indexed binary tree)", 31, 1,
+     kMaxDenseNodes},
+    {"chords", Kind::kInt, "random non-tree edges added", 8, 0, 100'000},
+    {"w", Kind::kInt, "tree edge weight", 1, 1, kMaxWeight},
+    {"chord_w", Kind::kInt, "chord edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildTreeChords(const ParamMap& pm, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  return MakeTreePlusChords(IntParam(pm, "n"), IntParam(pm, "chords"),
+                            WeightParam(pm, "w"), WeightParam(pm, "chord_w"),
+                            rng);
+}
+
+constexpr ParamSpec kCaterpillarParams[] = {
+    {"spine", Kind::kInt, "spine path length", 8, 1, 100'000},
+    {"legs", Kind::kInt, "leaves per spine node", 3, 0, 1000},
+    {"spine_w", Kind::kInt, "spine edge weight", 1, 1, kMaxWeight},
+    {"leg_w", Kind::kInt, "leg edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildCaterpillar(const ParamMap& pm, std::uint64_t) {
+  if (pm.GetInt("spine") * (1 + pm.GetInt("legs")) > kMaxNodes) {
+    FailFamily("caterpillar",
+               "spine * (1 + legs) exceeds " + std::to_string(kMaxNodes));
+  }
+  return MakeCaterpillar(IntParam(pm, "spine"), IntParam(pm, "legs"),
+                         WeightParam(pm, "spine_w"),
+                         WeightParam(pm, "leg_w"));
+}
+
+// An ER base with every edge split into `pieces` segments: multiplies the
+// shortest-path diameter s while preserving the metric shape — the workload
+// behind the paper's s-sweeps (Lemma 3.4 regime). Original node ids are
+// preserved as the prefix [0, n), so samplers can target base nodes via
+// their `span` parameter.
+constexpr ParamSpec kSubdividedErParams[] = {
+    {"n", Kind::kInt, "base ER nodes (kept as ids 0..n-1)", 16, 2, 2048},
+    {"p", Kind::kReal, "base ER edge probability", 0.2, 0.0, 1.0},
+    {"min_w", Kind::kInt, "minimum edge weight", 1, 1, kMaxWeight},
+    {"max_w", Kind::kInt, "maximum edge weight", 4, 1, kMaxWeight},
+    {"pieces", Kind::kInt, "segments per base edge", 4, 1, 64},
+    kSaltSpec,
+};
+Graph BuildSubdividedEr(const ParamMap& pm, std::uint64_t seed) {
+  CheckWeightRange("subdivided-er", pm);
+  SplitMix64 rng(seed);
+  const Graph base =
+      MakeConnectedRandom(IntParam(pm, "n"), pm.GetReal("p"),
+                          WeightParam(pm, "min_w"),
+                          WeightParam(pm, "max_w"), rng);
+  const long long pieces = pm.GetInt("pieces");
+  const long long total =
+      base.NumNodes() + static_cast<long long>(base.NumEdges()) * (pieces - 1);
+  if (total > kMaxNodes) {
+    FailFamily("subdivided-er",
+               "subdivision yields " + std::to_string(total) + " nodes (cap " +
+                   std::to_string(kMaxNodes) + ")");
+  }
+  return SubdivideEdges(base, static_cast<int>(pieces));
+}
+
+// Canonical registration order — also the order Names() reports and
+// `dsf --list-generators` prints.
+constexpr std::array<GeneratorFamily, 10> kFamilies{{
+    {"path", "path 0-1-...-(n-1), uniform weight", kPathParams, BuildPath},
+    {"cycle", "cycle on n nodes, uniform weight", kCycleParams, BuildCycle},
+    {"star", "star: center 0 with n-1 leaves", kStarParams, BuildStar},
+    {"grid", "rows x cols grid, weights uniform in [min_w, max_w]",
+     kGridParams, BuildGrid},
+    {"complete", "complete graph K_n, weights uniform in [min_w, max_w]",
+     kCompleteParams, BuildComplete},
+    {"er", "connected Erdos-Renyi: random spanning tree + G(n, p) edges",
+     kErParams, BuildEr},
+    {"geometric", "random geometric graph in the unit square", kGeometricParams,
+     BuildGeometric},
+    {"tree-chords", "balanced binary tree plus random chords",
+     kTreeChordsParams, BuildTreeChords},
+    {"caterpillar", "spine path with `legs` leaves per spine node",
+     kCaterpillarParams, BuildCaterpillar},
+    {"subdivided-er", "ER base with every edge split into `pieces` segments",
+     kSubdividedErParams, BuildSubdividedEr},
+}};
+
+}  // namespace
+
+const GeneratorFamily* GeneratorRegistry::Find(std::string_view name) noexcept {
+  for (const GeneratorFamily& f : kFamilies) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const GeneratorFamily& GeneratorRegistry::Get(std::string_view name) {
+  const GeneratorFamily* f = Find(name);
+  if (f == nullptr) {
+    std::ostringstream os;
+    os << "unknown generator '" << name << "'; registered:";
+    for (const GeneratorFamily& k : kFamilies) os << " " << k.name;
+    throw std::runtime_error(os.str());
+  }
+  return *f;
+}
+
+std::vector<std::string_view> GeneratorRegistry::Names() {
+  std::vector<std::string_view> names;
+  names.reserve(kFamilies.size());
+  for (const GeneratorFamily& f : kFamilies) names.push_back(f.name);
+  return names;
+}
+
+ParamMap ValidateGeneratorParams(
+    const GeneratorFamily& family,
+    std::span<const std::pair<std::string, std::string>> raw) {
+  return ValidateParams(family.name, family.params, raw);
+}
+
+Graph BuildGenerator(const GeneratorFamily& family, const ParamMap& pm,
+                     std::uint64_t seed) {
+  // salt == 0 (the default) leaves the seed untouched, so plain builds are
+  // unaffected by the replication mechanism.
+  const auto salt = static_cast<std::uint64_t>(pm.GetInt("salt"));
+  return family.build(pm, salt == 0 ? seed : DeriveSeed(seed, salt));
+}
+
+Graph BuildGenerator(std::string_view family,
+                     std::span<const std::pair<std::string, std::string>> raw,
+                     std::uint64_t seed) {
+  const GeneratorFamily& f = GeneratorRegistry::Get(family);
+  return BuildGenerator(f, ValidateGeneratorParams(f, raw), seed);
+}
+
+}  // namespace dsf

@@ -1,0 +1,62 @@
+// Named topology generators: every family in graph/generators.hpp behind a
+// uniform `name + key=value params + seed -> Graph` interface.
+//
+// The registry makes the paper's D/s/k/t parameter sweeps reachable from
+// data (scenario files, bench specs, the CLI) instead of hard-coded calls:
+// a family is looked up by name, its parameters are validated against a
+// self-describing schema (workload/params.hpp), and `BuildGenerator`
+// produces the graph deterministically from a seed. The `salt` parameter —
+// shared by every family — folds into the seed, so a `sweep salt 0 1 2 ...`
+// axis replicates a random topology without touching its shape parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "workload/params.hpp"
+
+namespace dsf {
+
+// One topology family. Plain data: the set of families is a compile-time
+// property of the library, like the solver registry (solve/solver.hpp).
+struct GeneratorFamily {
+  std::string_view name;
+  std::string_view description;
+  std::span<const ParamSpec> params;
+  // `pm` has been validated against `params`; `seed` already includes salt.
+  Graph (*build)(const ParamMap& pm, std::uint64_t seed);
+};
+
+class GeneratorRegistry {
+ public:
+  // nullptr when the name is unknown.
+  [[nodiscard]] static const GeneratorFamily* Find(
+      std::string_view name) noexcept;
+  // Throws std::runtime_error listing the known names when unknown.
+  [[nodiscard]] static const GeneratorFamily& Get(std::string_view name);
+  // All registered names, in canonical order.
+  [[nodiscard]] static std::vector<std::string_view> Names();
+};
+
+// Validates `raw` key=value pairs against the family's schema (defaults
+// applied). Throws std::runtime_error on unknown keys / bad values.
+ParamMap ValidateGeneratorParams(
+    const GeneratorFamily& family,
+    std::span<const std::pair<std::string, std::string>> raw);
+
+// Builds the graph: folds the map's `salt` into `seed`, then calls the
+// family. Deterministic: same (family, params, seed) -> identical edge list.
+// Cross-parameter violations (e.g. min_w > max_w, too many nodes) throw
+// std::runtime_error naming the family.
+Graph BuildGenerator(const GeneratorFamily& family, const ParamMap& pm,
+                     std::uint64_t seed);
+
+// Convenience for benches/tests: validate + build in one call.
+Graph BuildGenerator(std::string_view family,
+                     std::span<const std::pair<std::string, std::string>> raw,
+                     std::uint64_t seed);
+
+}  // namespace dsf

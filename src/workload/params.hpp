@@ -1,0 +1,77 @@
+// Self-describing parameter schemas for the workload registries.
+//
+// Every generator family and instance sampler publishes a `ParamSpec` table;
+// `ValidateParams` turns raw `key=value` tokens (from scenario files, bench
+// setup code, or the CLI) into a fully-populated `ParamMap` — unknown keys,
+// malformed numbers, and out-of-range values are rejected with messages that
+// name the offending key and the legal range, so scenario parse errors stay
+// actionable. Defaults are applied for every key the caller omitted: a
+// validated map always contains exactly the schema's keys.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dsf {
+
+struct ParamSpec {
+  enum class Kind { kInt, kReal };
+
+  std::string_view name;
+  Kind kind = Kind::kInt;
+  std::string_view description;
+  // Default and inclusive bounds. Integral params store them exactly (the
+  // ranges used here are far below 2^53).
+  double def = 0;
+  double min_value = 0;
+  double max_value = 0;
+};
+
+// A validated assignment: every schema key exactly once, defaults filled in.
+class ParamMap {
+ public:
+  // Lookups DSF_CHECK that the key exists with the requested kind — a miss
+  // is a programming error (the schema and the consumer disagree), not bad
+  // user input.
+  [[nodiscard]] long long GetInt(std::string_view name) const;
+  [[nodiscard]] double GetReal(std::string_view name) const;
+  [[nodiscard]] bool Has(std::string_view name) const noexcept;
+
+  // Keys in schema order with their values rendered back to text — used for
+  // case-name decoration and `--list-generators`.
+  struct Entry {
+    std::string name;
+    bool is_int = true;
+    long long i = 0;
+    double d = 0;
+  };
+  [[nodiscard]] const std::vector<Entry>& Entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  friend ParamMap ValidateParams(
+      std::string_view owner, std::span<const ParamSpec> schema,
+      std::span<const std::pair<std::string, std::string>> raw);
+  std::vector<Entry> entries_;
+};
+
+// Splits "key=value" (exactly one '=', non-empty key and value). Throws
+// std::runtime_error mentioning `token` otherwise.
+std::pair<std::string, std::string> SplitKeyValue(const std::string& token);
+
+// Validates `raw` against `schema` and fills defaults. Throws
+// std::runtime_error naming `owner` (the family/sampler) on unknown keys,
+// duplicate keys, parse failures, and range violations.
+ParamMap ValidateParams(std::string_view owner,
+                        std::span<const ParamSpec> schema,
+                        std::span<const std::pair<std::string, std::string>> raw);
+
+// One-line rendering of a schema entry, e.g. "n: int in [2, 1000000]
+// (default 32) — node count". Used by `dsf --list-generators`.
+std::string DescribeParam(const ParamSpec& spec);
+
+}  // namespace dsf

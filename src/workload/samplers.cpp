@@ -1,0 +1,279 @@
+#include "workload/samplers.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/random.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace dsf {
+
+namespace {
+
+using Kind = ParamSpec::Kind;
+
+constexpr ParamSpec kSaltSpec{
+    "salt", Kind::kInt,
+    "replication index folded into the seed (sweep it to redraw)", 0, 0,
+    1'000'000'000};
+constexpr ParamSpec kSpanSpec{
+    "span", Kind::kInt,
+    "restrict draws to node ids [0, span); 0 = whole graph", 0, 0,
+    1'000'000};
+
+[[noreturn]] void FailSampler(std::string_view sampler,
+                              const std::string& what) {
+  throw std::runtime_error("sampler '" + std::string(sampler) + "': " + what);
+}
+
+// The node range the random samplers draw from: [0, span) or the full graph.
+int DrawRange(std::string_view sampler, const Graph& g, const ParamMap& pm) {
+  const long long span = pm.GetInt("span");
+  if (span > g.NumNodes()) {
+    FailSampler(sampler, "span " + std::to_string(span) + " exceeds n = " +
+                             std::to_string(g.NumNodes()));
+  }
+  return span == 0 ? g.NumNodes() : static_cast<int>(span);
+}
+
+// Draws `count` distinct nodes from [0, range) by rejection — the draw
+// sequence depends only on (seed, range, count), which is what makes the
+// `span` trick work across subdivision depths.
+std::vector<NodeId> DistinctNodes(std::string_view sampler, int range,
+                                  int count, SplitMix64& rng) {
+  if (count > range) {
+    FailSampler(sampler, "needs " + std::to_string(count) +
+                             " distinct nodes but the draw range has only " +
+                             std::to_string(range));
+  }
+  std::vector<char> used(static_cast<std::size_t>(range), 0);
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    NodeId v = 0;
+    do {
+      v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(range)));
+    } while (used[static_cast<std::size_t>(v)]);
+    used[static_cast<std::size_t>(v)] = 1;
+    nodes.push_back(v);
+  }
+  return nodes;
+}
+
+// Farthest-point placement: greedily adds the node maximizing the weighted
+// distance to the already-chosen set (ties toward smaller id) — the metric
+// "corners" of an arbitrary topology. The seed only picks the start node.
+std::vector<NodeId> FarthestPoints(const Graph& g, int count,
+                                   SplitMix64& rng) {
+  const int n = g.NumNodes();
+  std::vector<NodeId> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  std::vector<Weight> min_dist(static_cast<std::size_t>(n), kInfWeight);
+  NodeId next = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(n)));
+  for (int i = 0; i < count; ++i) {
+    chosen.push_back(next);
+    const auto tree = Dijkstra(g, next);
+    NodeId best = kNoNode;
+    Weight best_dist = -1;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (tree.dist[vi] < min_dist[vi]) min_dist[vi] = tree.dist[vi];
+      if (min_dist[vi] == 0) continue;  // already chosen
+      if (min_dist[vi] > best_dist) {
+        best_dist = min_dist[vi];
+        best = v;
+      }
+    }
+    next = best;  // kNoNode only when count > n, checked by callers
+  }
+  return chosen;
+}
+
+// --- samplers ----------------------------------------------------------------
+
+constexpr ParamSpec kRandomIcParams[] = {
+    {"k", Kind::kInt, "input components", 3, 1, 64},
+    {"tpc", Kind::kInt, "terminals per component", 2, 2, 32},
+    kSpanSpec,
+    kSaltSpec,
+};
+WorkloadInstance SampleRandomIc(const Graph& g, const ParamMap& pm,
+                                std::uint64_t seed) {
+  const int range = DrawRange("random-ic", g, pm);
+  const int k = static_cast<int>(pm.GetInt("k"));
+  const int tpc = static_cast<int>(pm.GetInt("tpc"));
+  SplitMix64 rng(seed);
+  const auto nodes = DistinctNodes("random-ic", range, k * tpc, rng);
+  std::vector<std::pair<NodeId, Label>> assign;
+  assign.reserve(nodes.size());
+  // Draw order groups consecutive nodes into one component, mirroring the
+  // bench suite's historical SpreadComponents shape.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    assign.push_back(
+        {nodes[i], static_cast<Label>(i / static_cast<std::size_t>(tpc) + 1)});
+  }
+  WorkloadInstance inst;
+  inst.ic = MakeIcInstance(g.NumNodes(), assign);
+  return inst;
+}
+
+constexpr ParamSpec kRandomCrParams[] = {
+    {"pairs", Kind::kInt, "symmetric connection requests", 3, 1, 512},
+    kSpanSpec,
+    kSaltSpec,
+};
+WorkloadInstance SampleRandomCr(const Graph& g, const ParamMap& pm,
+                                std::uint64_t seed) {
+  const int range = DrawRange("random-cr", g, pm);
+  const long long pairs = pm.GetInt("pairs");
+  const long long distinct =
+      static_cast<long long>(range) * (range - 1) / 2;
+  if (pairs > distinct) {
+    FailSampler("random-cr", "cannot draw " + std::to_string(pairs) +
+                                 " distinct pairs from " +
+                                 std::to_string(range) + " nodes");
+  }
+  SplitMix64 rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> drawn;
+  drawn.reserve(static_cast<std::size_t>(pairs));
+  while (static_cast<long long>(drawn.size()) < pairs) {
+    auto u = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(range)));
+    auto v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(range)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    bool seen = false;
+    for (const auto& [a, b] : drawn) {
+      if (a == u && b == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) drawn.push_back({u, v});
+  }
+  WorkloadInstance inst;
+  inst.use_cr = true;
+  inst.cr = MakeCrInstance(g.NumNodes(), drawn);
+  return inst;
+}
+
+constexpr ParamSpec kCornersIcParams[] = {
+    {"k", Kind::kInt, "input components", 2, 1, 32},
+    {"tpc", Kind::kInt, "terminals per component", 2, 2, 16},
+    kSaltSpec,
+};
+WorkloadInstance SampleCornersIc(const Graph& g, const ParamMap& pm,
+                                 std::uint64_t seed) {
+  const int k = static_cast<int>(pm.GetInt("k"));
+  const int tpc = static_cast<int>(pm.GetInt("tpc"));
+  const int count = k * tpc;
+  if (count > g.NumNodes()) {
+    FailSampler("corners-ic", "k * tpc = " + std::to_string(count) +
+                                  " exceeds n = " +
+                                  std::to_string(g.NumNodes()));
+  }
+  SplitMix64 rng(seed);
+  const auto corners = FarthestPoints(g, count, rng);
+  // Stripe labels across the farthest-point order: each component gets one
+  // terminal per sweep round, so every component spans the graph's extent.
+  std::vector<std::pair<NodeId, Label>> assign;
+  assign.reserve(corners.size());
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    assign.push_back(
+        {corners[i], static_cast<Label>(i % static_cast<std::size_t>(k) + 1)});
+  }
+  WorkloadInstance inst;
+  inst.ic = MakeIcInstance(g.NumNodes(), assign);
+  return inst;
+}
+
+constexpr ParamSpec kCornersCrParams[] = {
+    {"pairs", Kind::kInt, "symmetric connection requests", 2, 1, 256},
+    kSaltSpec,
+};
+WorkloadInstance SampleCornersCr(const Graph& g, const ParamMap& pm,
+                                 std::uint64_t seed) {
+  const int pairs = static_cast<int>(pm.GetInt("pairs"));
+  if (2 * pairs > g.NumNodes()) {
+    FailSampler("corners-cr", "2 * pairs = " + std::to_string(2 * pairs) +
+                                  " exceeds n = " +
+                                  std::to_string(g.NumNodes()));
+  }
+  SplitMix64 rng(seed);
+  const auto corners = FarthestPoints(g, 2 * pairs, rng);
+  // Pair the i-th corner with the (i + pairs)-th: endpoints of each request
+  // come from opposite halves of the farthest-point sweep.
+  std::vector<std::pair<NodeId, NodeId>> drawn;
+  drawn.reserve(static_cast<std::size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    drawn.push_back({corners[static_cast<std::size_t>(i)],
+                     corners[static_cast<std::size_t>(i + pairs)]});
+  }
+  WorkloadInstance inst;
+  inst.use_cr = true;
+  inst.cr = MakeCrInstance(g.NumNodes(), drawn);
+  return inst;
+}
+
+constexpr std::array<InstanceSampler, 4> kSamplers{{
+    {"random-ic", "k components x tpc terminals on distinct uniform nodes",
+     kRandomIcParams, SampleRandomIc},
+    {"random-cr", "distinct symmetric connection requests on uniform nodes",
+     kRandomCrParams, SampleRandomCr},
+    {"corners-ic", "farthest-point terminals, labels striped across the sweep",
+     kCornersIcParams, SampleCornersIc},
+    {"corners-cr", "farthest-point endpoints paired across opposite halves",
+     kCornersCrParams, SampleCornersCr},
+}};
+
+}  // namespace
+
+const InstanceSampler* SamplerRegistry::Find(std::string_view name) noexcept {
+  for (const InstanceSampler& s : kSamplers) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const InstanceSampler& SamplerRegistry::Get(std::string_view name) {
+  const InstanceSampler* s = Find(name);
+  if (s == nullptr) {
+    std::ostringstream os;
+    os << "unknown sampler '" << name << "'; registered:";
+    for (const InstanceSampler& k : kSamplers) os << " " << k.name;
+    throw std::runtime_error(os.str());
+  }
+  return *s;
+}
+
+std::vector<std::string_view> SamplerRegistry::Names() {
+  std::vector<std::string_view> names;
+  names.reserve(kSamplers.size());
+  for (const InstanceSampler& s : kSamplers) names.push_back(s.name);
+  return names;
+}
+
+ParamMap ValidateSamplerParams(
+    const InstanceSampler& sampler,
+    std::span<const std::pair<std::string, std::string>> raw) {
+  return ValidateParams(sampler.name, sampler.params, raw);
+}
+
+WorkloadInstance SampleInstance(const InstanceSampler& sampler, const Graph& g,
+                                const ParamMap& pm, std::uint64_t seed) {
+  DSF_CHECK_MSG(g.Finalized() && g.NumNodes() >= 1,
+                "samplers need a finalized, non-empty graph");
+  const auto salt = static_cast<std::uint64_t>(pm.GetInt("salt"));
+  return sampler.sample(g, pm, salt == 0 ? seed : DeriveSeed(seed, salt));
+}
+
+WorkloadInstance SampleInstance(
+    std::string_view sampler, const Graph& g,
+    std::span<const std::pair<std::string, std::string>> raw,
+    std::uint64_t seed) {
+  const InstanceSampler& s = SamplerRegistry::Get(sampler);
+  return SampleInstance(s, g, ValidateSamplerParams(s, raw), seed);
+}
+
+}  // namespace dsf

@@ -1,0 +1,72 @@
+// Instance samplers: draw DSF-IC terminal sets and DSF-CR request sets from
+// a topology deterministically, so scenario files and benches can say
+// "3 components of 2 random terminals" instead of enumerating nodes by hand.
+//
+//   random-ic   k components x tpc terminals on distinct uniform nodes
+//   random-cr   `pairs` distinct symmetric connection requests
+//   corners-ic  farthest-point placement (metric corners), labels striped so
+//               every component spans the graph
+//   corners-cr  farthest-point placement, node i paired with node i+pairs
+//
+// `span` (random-* only) restricts draws to node ids [0, span) — on
+// subdivided graphs, whose base nodes are the id prefix, the same seed then
+// yields the same instance at every subdivision depth. `salt` replicates a
+// draw, exactly like the generator parameter of the same name.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+#include "workload/params.hpp"
+
+namespace dsf {
+
+// One named instance of a workload case, in either input form of the paper.
+// (The CLI's ScenarioInstance is an alias of this type.)
+struct WorkloadInstance {
+  std::string name;
+  bool use_cr = false;
+  IcInstance ic;  // populated when !use_cr
+  CrInstance cr;  // populated when use_cr
+};
+
+struct InstanceSampler {
+  std::string_view name;
+  std::string_view description;
+  std::span<const ParamSpec> params;
+  // `pm` has been validated against `params`; `seed` already includes salt.
+  // The returned instance has an empty name (the caller owns naming).
+  WorkloadInstance (*sample)(const Graph& g, const ParamMap& pm,
+                             std::uint64_t seed);
+};
+
+class SamplerRegistry {
+ public:
+  [[nodiscard]] static const InstanceSampler* Find(
+      std::string_view name) noexcept;
+  // Throws std::runtime_error listing the known names when unknown.
+  [[nodiscard]] static const InstanceSampler& Get(std::string_view name);
+  [[nodiscard]] static std::vector<std::string_view> Names();
+};
+
+ParamMap ValidateSamplerParams(
+    const InstanceSampler& sampler,
+    std::span<const std::pair<std::string, std::string>> raw);
+
+// Draws the instance (salt folded into the seed). Throws std::runtime_error
+// when the graph is too small for the requested draw.
+WorkloadInstance SampleInstance(const InstanceSampler& sampler, const Graph& g,
+                                const ParamMap& pm, std::uint64_t seed);
+
+// Convenience for benches/tests: validate + sample in one call.
+WorkloadInstance SampleInstance(
+    std::string_view sampler, const Graph& g,
+    std::span<const std::pair<std::string, std::string>> raw,
+    std::uint64_t seed);
+
+}  // namespace dsf

@@ -67,6 +67,10 @@ TEST(ScenarioTest, RejectsMalformedInput) {
       "graph 3\nedge 0 1 1\nic a\nterminal 0 4294967297\n",  // label > int32
       "graph 3\nedge 0 1 1\nic a\nterminal 0 1\nterminal 0 2\n",  // dup node
       "graph 3\nedge 0 1 1\ncr a\npair 0 1\npair 1 0\n",     // dup pair
+      "graph 3\nedge 0 1 1\nedge 0 1 2\nic a\nterminal 0 1\n",  // dup edge
+      "graph 3\nedge 0 1 1\nedge 1 0 2\nic a\nterminal 0 1\n",  // reversed dup
+      "graph 3\nedge 0 1 1\nic a\nterminal 0 1\nic a\nterminal 1 1\n",  // dup name
+      "graph 3\nedge 0 1 1\nic a\nterminal 0 1\ncr a\npair 0 1\n",  // dup name
   };
   for (const char* text : bad) {
     EXPECT_THROW(ParseString(text), std::runtime_error) << text;
