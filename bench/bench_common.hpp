@@ -1,5 +1,5 @@
 // Shared helpers for the benchmark suite. Each bench binary regenerates one
-// experiment row of DESIGN.md §5; results are exposed as benchmark counters
+// experiment row of DESIGN.md §6; results are exposed as benchmark counters
 // (rounds, ratios, phases, bits) — the quantities the paper's theorems bound.
 #pragma once
 

@@ -1,0 +1,176 @@
+// Service-layer load generator (DESIGN.md §5): closed-loop clients against
+// an in-process `Server` over real sockets, with a configurable duplicate
+// ratio.
+//
+// Each client thread runs its own connection and sends solve requests
+// back-to-back (closed loop: the next request leaves when the previous
+// response arrived). A duplicate ratio of D% draws D% of requests from a
+// small hot set shared by every client — the traffic shape the canonical-
+// hash cache exists for — and the rest from client-unique cold specs.
+// Per-request latency is measured client-side and split by the response's
+// cached flag, giving the hit/miss latency separation directly
+// (acceptance: at 8 clients and 50% duplicates, cache-hit requests
+// complete >= 10x faster than misses).
+//
+// `bench/run_benchmarks.sh` records this series as BENCH_serve.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "solve/batch.hpp"
+
+namespace dsf {
+namespace {
+
+constexpr int kRequestsPerClient = 40;
+constexpr int kHotSpecs = 4;
+
+// One unit of solver work per request: a generated 12x12 grid carrying one
+// sampled two-component instance, solved by the paper's deterministic
+// protocol (heavy enough that a recompute dwarfs the lookup path).
+std::string SpecText(int variant) {
+  std::ostringstream os;
+  os << "seed " << (variant + 1) << "\n"
+     << "generate grid rows=12 cols=12 min_w=1 max_w=9 salt=" << variant
+     << "\n"
+     << "sample random-ic load k=2 tpc=2\n";
+  return os.str();
+}
+
+std::string RequestLine(int variant) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("op");
+  json.String("solve");
+  json.Key("spec");
+  json.String(SpecText(variant));
+  json.Key("solvers");
+  json.BeginArray();
+  json.String("dist-det");
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+struct ClientTally {
+  std::vector<double> hit_ms;
+  std::vector<double> miss_ms;
+  int errors = 0;
+};
+
+ClientTally RunClientLoop(int port, int client, int dup_percent) {
+  ClientTally tally;
+  try {
+    ClientConnection conn("127.0.0.1", port);
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      // Deterministic Bresenham interleave: dup_percent% of the stream
+      // goes to the shared hot set, spread evenly; the rest to cold specs
+      // unique to (client, i).
+      const bool hot = (i + 1) * dup_percent / 100 > i * dup_percent / 100;
+      const int variant =
+          hot ? i % kHotSpecs : 1000 + client * kRequestsPerClient + i;
+      const std::string request = RequestLine(variant);
+      const auto start = std::chrono::steady_clock::now();
+      const JsonValue response = conn.RoundTrip(request);
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (!response.GetBool("ok", false) ||
+          response.GetNumber("requests", 0) != 1.0) {
+        ++tally.errors;
+        continue;
+      }
+      if (response.GetNumber("misses", -1) == 0.0) {
+        tally.hit_ms.push_back(ms);
+      } else {
+        tally.miss_ms.push_back(ms);
+      }
+    }
+  } catch (const std::exception&) {
+    ++tally.errors;
+  }
+  return tally;
+}
+
+void BM_ServeLoad(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int dup_percent = static_cast<int>(state.range(1));
+
+  for (auto _ : state) {
+    // A fresh server per iteration: hit/miss separation depends on a cold
+    // cache, and the drain is part of what this bench exercises.
+    ServeOptions options;
+    options.threads = 4;
+    Server server(options);
+    server.Start();
+
+    std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          tallies[static_cast<std::size_t>(c)] =
+              RunClientLoop(server.Port(), c, dup_percent);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+
+    std::vector<double> hit_ms;
+    std::vector<double> miss_ms;
+    int errors = 0;
+    for (const ClientTally& t : tallies) {
+      hit_ms.insert(hit_ms.end(), t.hit_ms.begin(), t.hit_ms.end());
+      miss_ms.insert(miss_ms.end(), t.miss_ms.begin(), t.miss_ms.end());
+      errors += t.errors;
+    }
+    std::sort(hit_ms.begin(), hit_ms.end());
+    std::sort(miss_ms.begin(), miss_ms.end());
+    const CacheCounters cache = server.Cache().Counters();
+    const QueueCounters queue = server.Queue().Counters();
+    server.RequestShutdown();
+    const int drain_rc = server.Wait();
+
+    const double total = static_cast<double>(hit_ms.size() + miss_ms.size());
+    state.counters["clients"] = clients;
+    state.counters["dup_percent"] = dup_percent;
+    state.counters["requests"] = total;
+    state.counters["errors"] = errors + drain_rc;  // must stay 0
+    state.counters["hit_requests"] = static_cast<double>(hit_ms.size());
+    state.counters["miss_requests"] = static_cast<double>(miss_ms.size());
+    state.counters["hit_p50_ms"] = PercentileOfSorted(hit_ms, 0.50);
+    state.counters["miss_p50_ms"] = PercentileOfSorted(miss_ms, 0.50);
+    state.counters["hit_p95_ms"] = PercentileOfSorted(hit_ms, 0.95);
+    state.counters["miss_p95_ms"] = PercentileOfSorted(miss_ms, 0.95);
+    // The acceptance ratio: how much faster a cached request completes.
+    state.counters["hit_speedup"] =
+        hit_ms.empty() ? 0.0
+                       : PercentileOfSorted(miss_ms, 0.50) /
+                             PercentileOfSorted(hit_ms, 0.50);
+    state.counters["cache_hits"] = static_cast<double>(cache.hits);
+    state.counters["cache_misses"] = static_cast<double>(cache.misses);
+    state.counters["coalesced"] = static_cast<double>(queue.coalesced);
+  }
+}
+BENCHMARK(BM_ServeLoad)
+    ->Args({1, 0})    // single client, all-cold baseline
+    ->Args({8, 50})   // the acceptance configuration
+    ->Args({8, 90})   // cache-dominated traffic
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

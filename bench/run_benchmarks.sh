@@ -1,18 +1,21 @@
 #!/usr/bin/env sh
-# Records the performance trajectory: runs bench_simulator and the batch-
-# engine throughput sweep (plus a one-row smoke of the E5 n-sweep) with JSON
-# output so successive commits can be compared.
+# Records the performance trajectory: runs bench_simulator, the batch-
+# engine throughput sweep, and the service-layer load generator (plus a
+# one-row smoke of the E5 n-sweep) with JSON output so successive commits
+# can be compared.
 #
 #   bench/run_benchmarks.sh [build_dir] [out_dir]
 #
 # Defaults: build_dir = build, out_dir = build_dir. Writes
-# BENCH_simulator.json, BENCH_batch.json, and BENCH_smoke.json into out_dir.
+# BENCH_simulator.json, BENCH_batch.json, BENCH_serve.json, and
+# BENCH_smoke.json into out_dir.
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR}"
+mkdir -p "$OUT_DIR"
 
-for bin in bench_simulator bench_batch_throughput; do
+for bin in bench_simulator bench_batch_throughput bench_serve; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need Google Benchmark;" \
          "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -32,6 +35,14 @@ done
   --benchmark_out="$OUT_DIR/BENCH_batch.json" \
   --benchmark_out_format=json
 
+# Service-layer load generation (closed-loop clients over sockets against
+# an in-process server): hit/miss latency separation and the >= 10x
+# cache-hit speedup acceptance ratio (DESIGN.md §5).
+"$BUILD_DIR/bench_serve" \
+  --benchmark_format=json \
+  --benchmark_out="$OUT_DIR/BENCH_serve.json" \
+  --benchmark_out_format=json
+
 # One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
 # the protocol path still runs under the benchmark harness.
 # (the registered name carries an /iterations:1 suffix, so no $-anchor)
@@ -42,4 +53,4 @@ done
   --benchmark_out_format=json
 
 echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
-     "and $OUT_DIR/BENCH_smoke.json"
+     "$OUT_DIR/BENCH_serve.json, and $OUT_DIR/BENCH_smoke.json"

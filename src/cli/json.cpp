@@ -1,7 +1,11 @@
 #include "cli/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -112,6 +116,17 @@ void JsonWriter::Double(double value) {
   out_ << buf;
 }
 
+void JsonWriter::DoubleExact(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out_ << buf;
+}
+
 void JsonWriter::Bool(bool value) {
   BeforeValue();
   out_ << (value ? "true" : "false");
@@ -120,6 +135,254 @@ void JsonWriter::Bool(bool value) {
 void JsonWriter::Null() {
   BeforeValue();
   out_ << "null";
+}
+
+// --- parsing -----------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return std::string(fallback);
+  if (!v->IsString()) {
+    throw std::runtime_error("field '" + std::string(key) +
+                             "' must be a string");
+  }
+  return v->string;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->IsNumber()) {
+    throw std::runtime_error("field '" + std::string(key) +
+                             "' must be a number");
+  }
+  return v->number;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->IsBool()) {
+    throw std::runtime_error("field '" + std::string(key) +
+                             "' must be a boolean");
+  }
+  return v->boolean;
+}
+
+namespace {
+
+constexpr int kMaxJsonDepth = 64;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue(0);
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) Fail("nesting too deep");
+    SkipWs();
+    JsonValue v;
+    switch (Peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::kObject;
+        ++pos_;
+        SkipWs();
+        if (Peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          SkipWs();
+          std::string key = ParseString();
+          if (v.Find(key) != nullptr) Fail("duplicate key '" + key + "'");
+          SkipWs();
+          Expect(':');
+          v.object.emplace_back(std::move(key), ParseValue(depth + 1));
+          SkipWs();
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          Expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::kArray;
+        ++pos_;
+        SkipWs();
+        if (Peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(ParseValue(depth + 1));
+          SkipWs();
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          Expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = ParseString();
+        return v;
+      case 't':
+        if (!Consume("true")) Fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!Consume("false")) Fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!Consume("null")) Fail("invalid literal");
+        return v;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = ParseNumber(v.string);
+        return v;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              Fail("invalid \\u escape");
+            }
+            const char h = text_[pos_++];
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are not needed
+          // by the protocol (specs are ASCII) but pass through as two
+          // 3-byte sequences rather than failing.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: Fail("unknown escape");
+      }
+    }
+  }
+
+  double ParseNumber(std::string& literal) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      Fail("invalid number '" + token + "'");
+    }
+    literal = token;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue ParseJson(std::string_view text) {
+  return JsonParser(text).ParseDocument();
 }
 
 }  // namespace dsf

@@ -1,12 +1,17 @@
-// Minimal JSON emitter for the `dsf` CLI (no third-party dependency). The
-// writer tracks the container stack and comma state, so callers only name
-// keys and values; strings are escaped per RFC 8259, non-finite doubles are
-// emitted as null (JSON has no NaN/Inf).
+// Minimal JSON emitter and parser (no third-party dependency). The writer
+// tracks the container stack and comma state, so callers only name keys and
+// values; strings are escaped per RFC 8259, non-finite doubles are emitted
+// as null (JSON has no NaN/Inf). The parser materializes a document tree
+// (`JsonValue`) for the wire protocol of the service layer (serve/) and for
+// tests/benches that inspect responses.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dsf {
@@ -30,6 +35,10 @@ class JsonWriter {
   void Int(long long value);
   void UInt(std::uint64_t value);
   void Double(double value);
+  // Shortest round-trippable representation (%.17g): for values that are
+  // inputs to further computation (wire-protocol options), where Double's
+  // display precision (%.6g) would change the result downstream.
+  void DoubleExact(double value);
   void Bool(bool value);
   void Null();
 
@@ -48,5 +57,54 @@ class JsonWriter {
   bool key_pending_ = false;
   bool opened_root_ = false;
 };
+
+// --- parsing -----------------------------------------------------------------
+
+// One node of a parsed document. Object member order is preserved (vector of
+// pairs, not a map): duplicate keys are rejected at parse time, so lookup by
+// key is unambiguous.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  // kString: the decoded text. kNumber: the raw literal as written — exact
+  // 64-bit integers survive even when `number` (a double) cannot represent
+  // them (seeds above 2^53 must not silently collapse onto neighbours).
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool IsNull() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool IsBool() const noexcept { return kind == Kind::kBool; }
+  [[nodiscard]] bool IsNumber() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool IsString() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool IsArray() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool IsObject() const noexcept {
+    return kind == Kind::kObject;
+  }
+
+  // Member lookup on objects; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const noexcept;
+
+  // Typed convenience accessors used by the wire protocol: return the
+  // fallback when the member is absent; throw std::runtime_error (naming
+  // the key) when present with the wrong type.
+  [[nodiscard]] std::string GetString(std::string_view key,
+                                      std::string_view fallback) const;
+  [[nodiscard]] double GetNumber(std::string_view key, double fallback) const;
+  [[nodiscard]] bool GetBool(std::string_view key, bool fallback) const;
+};
+
+// Parses exactly one JSON document; trailing non-whitespace, duplicate
+// object keys, and malformed input throw std::runtime_error with a byte
+// offset. Depth is capped (64) so deeply nested garbage cannot overflow the
+// stack.
+JsonValue ParseJson(std::string_view text);
 
 }  // namespace dsf

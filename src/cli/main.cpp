@@ -7,9 +7,19 @@
 // and emits one JSON document with per-request results and batch
 // aggregates. Exit status is 0 iff every output was feasible.
 //
+// The `serve` and `client` subcommands front the resident service layer
+// (src/serve/, DESIGN.md §5): a persistent socket server with a canonical-
+// hash result cache, and a line-protocol client for it.
+//
 //   dsf --scenario FILE [--solvers all|name,name,...] [--seed N]
 //       [--threads N] [--epsilon X] [--repetitions N] [--reference]
 //       [--no-prune] [--json FILE]
+//   dsf serve [--port N] [--host A] [--threads N] [--cache N]
+//       [--batch-max N] [--max-pending N]
+//   dsf client (--scenario FILE | --generate SPEC [--instance SPEC]
+//       | --stats | --ping) [--port N] [--host A] [--solvers LIST]
+//       [--seed N] [--epsilon X] [--repetitions N] [--no-prune]
+//       [--repeat N] [--json FILE]
 //   dsf --list-solvers
 //   dsf --list-generators
 #include <cerrno>
@@ -23,6 +33,8 @@
 #include <vector>
 
 #include "cli/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "solve/batch.hpp"
 #include "solve/solver.hpp"
 #include "steiner/exact.hpp"
@@ -52,6 +64,10 @@ struct CliArgs {
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: dsf --scenario FILE [options]\n"
+               "       dsf serve [--port N] [--threads N] [--cache N]\n"
+               "       dsf client (--scenario FILE | --generate SPEC |"
+               " --stats | --ping)\n"
+               "                  [--port N] [--repeat N] [options]\n"
                "       dsf --list-solvers\n"
                "       dsf --list-generators\n"
                "\n"
@@ -414,6 +430,251 @@ int RunCli(const CliArgs& args) {
   return stats.infeasible == 0 ? 0 : 1;
 }
 
+void PrintServeUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dsf serve [options]\n"
+               "\n"
+               "options:\n"
+               "  --port N          listen port (default 0 = ephemeral;"
+               " the bound port is\n"
+               "                    printed as a JSON line on stdout)\n"
+               "  --host A          bind address (default 127.0.0.1)\n"
+               "  --threads N       batch engine executors (0 = hardware"
+               " concurrency)\n"
+               "  --cache N         result cache capacity in entries"
+               " (default 4096; 0 disables)\n"
+               "  --cache-shards N  cache shards (default 8)\n"
+               "  --batch-max N     max units per dispatched batch"
+               " (default 32)\n"
+               "  --max-pending N   admission bound on queued + running"
+               " units (default 1024)\n"
+               "\n"
+               "SIGINT / SIGTERM drain the queue and exit 0.\n");
+}
+
+void PrintClientUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dsf client (--scenario FILE | --generate SPEC"
+               " [--instance SPEC]\n"
+               "                   | --stats | --ping) [options]\n"
+               "\n"
+               "options:\n"
+               "  --port N          server port (required)\n"
+               "  --host A          server address (default 127.0.0.1)\n"
+               "  --scenario FILE   send FILE's workload text inline"
+               " (imports excluded)\n"
+               "  --generate SPEC   named generator spec, e.g. 'grid rows=4"
+               " cols=4'\n"
+               "  --instance SPEC   sampler spec for --generate, e.g."
+               " 'random-ic k=2 tpc=2'\n"
+               "  --stats           request the /stats counters\n"
+               "  --ping            liveness probe\n"
+               "  --solvers LIST    comma-separated solver names (default"
+               " all)\n"
+               "  --seed N          spec-level seed override (>= 1)\n"
+               "  --epsilon X       Algorithm 2 epsilon\n"
+               "  --repetitions N   dist-rand repetitions\n"
+               "  --no-prune        skip minimal-subforest pruning\n"
+               "  --repeat N        send the same solve N times (duplicate"
+               " burst)\n"
+               "  --json FILE       also write the response lines to FILE\n");
+}
+
+int RunServeCommand(int argc, char** argv) {
+  ServeOptions options;
+  std::string error;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        error = "missing value for " + flag;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    long long value = 0;
+    if (flag == "--help" || flag == "-h") {
+      PrintServeUsage(stdout);
+      return 0;
+    } else if (flag == "--port") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--port", v, value, error)) break;
+      if (value < 0 || value > 65535) {
+        error = "--port must be in [0, 65535]";
+        break;
+      }
+      options.port = static_cast<int>(value);
+    } else if (flag == "--host") {
+      const char* v = need_value();
+      if (!v) break;
+      options.host = v;
+    } else if (flag == "--threads") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--threads", v, value, error)) break;
+      if (value < 0 || value > 1024) {
+        error = "--threads must be in [0, 1024]";
+        break;
+      }
+      options.threads = static_cast<int>(value);
+    } else if (flag == "--cache") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--cache", v, value, error)) break;
+      if (value < 0 || value > (1LL << 30)) {
+        error = "--cache must be in [0, 2^30]";
+        break;
+      }
+      options.cache_entries = static_cast<std::size_t>(value);
+    } else if (flag == "--cache-shards") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--cache-shards", v, value, error)) break;
+      if (value < 1 || value > 64) {
+        error = "--cache-shards must be in [1, 64]";
+        break;
+      }
+      options.cache_shards = static_cast<int>(value);
+    } else if (flag == "--batch-max") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--batch-max", v, value, error)) break;
+      if (value < 1 || value > 4096) {
+        error = "--batch-max must be in [1, 4096]";
+        break;
+      }
+      options.batch_max = static_cast<int>(value);
+    } else if (flag == "--max-pending") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--max-pending", v, value, error)) break;
+      if (value < 1 || value > (1 << 24)) {
+        error = "--max-pending must be in [1, 2^24]";
+        break;
+      }
+      options.max_pending = static_cast<int>(value);
+    } else {
+      error = "unknown flag: " + flag;
+      break;
+    }
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "dsf serve: %s\n", error.c_str());
+    PrintServeUsage(stderr);
+    return 2;
+  }
+  return RunServe(options);
+}
+
+int RunClientCommand(int argc, char** argv) {
+  ClientArgs args;
+  bool port_set = false;
+  std::string error;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        error = "missing value for " + flag;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    long long value = 0;
+    if (flag == "--help" || flag == "-h") {
+      PrintClientUsage(stdout);
+      return 0;
+    } else if (flag == "--port") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--port", v, value, error)) break;
+      if (value < 1 || value > 65535) {
+        error = "--port must be in [1, 65535]";
+        break;
+      }
+      args.port = static_cast<int>(value);
+      port_set = true;
+    } else if (flag == "--host") {
+      const char* v = need_value();
+      if (!v) break;
+      args.host = v;
+    } else if (flag == "--scenario") {
+      const char* v = need_value();
+      if (!v) break;
+      args.scenario_path = v;
+    } else if (flag == "--generate") {
+      const char* v = need_value();
+      if (!v) break;
+      args.generate = v;
+    } else if (flag == "--instance") {
+      const char* v = need_value();
+      if (!v) break;
+      args.instance = v;
+    } else if (flag == "--stats") {
+      args.stats = true;
+    } else if (flag == "--ping") {
+      args.ping = true;
+    } else if (flag == "--solvers") {
+      const char* v = need_value();
+      if (!v) break;
+      if (std::strcmp(v, "all") != 0) args.solvers = v;
+    } else if (flag == "--seed") {
+      const char* v = need_value();
+      if (!v || !ParseU64("--seed", v, args.seed, error)) break;
+      if (args.seed == 0) {
+        error = "--seed must be >= 1";
+        break;
+      }
+      args.seed_set = true;
+    } else if (flag == "--epsilon") {
+      const char* v = need_value();
+      Real eps = 0.0L;
+      if (!v || !ParseReal("--epsilon", v, eps, error)) break;
+      if (eps < 0.0L) {
+        error = "--epsilon must be >= 0";
+        break;
+      }
+      args.epsilon = static_cast<double>(eps);
+    } else if (flag == "--repetitions") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--repetitions", v, value, error)) break;
+      if (value < 1 || value > 1 << 20) {
+        error = "--repetitions must be in [1, 1048576]";
+        break;
+      }
+      args.repetitions = static_cast<int>(value);
+    } else if (flag == "--no-prune") {
+      args.prune = false;
+    } else if (flag == "--repeat") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--repeat", v, value, error)) break;
+      if (value < 1 || value > 1 << 20) {
+        error = "--repeat must be in [1, 1048576]";
+        break;
+      }
+      args.repeat = static_cast<int>(value);
+    } else if (flag == "--json") {
+      const char* v = need_value();
+      if (!v) break;
+      args.json_path = v;
+    } else {
+      error = "unknown flag: " + flag;
+      break;
+    }
+  }
+  if (error.empty()) {
+    const int modes = (!args.scenario_path.empty() ? 1 : 0) +
+                      (!args.generate.empty() ? 1 : 0) +
+                      (args.stats ? 1 : 0) + (args.ping ? 1 : 0);
+    if (modes != 1) {
+      error = "need exactly one of --scenario, --generate, --stats, --ping";
+    } else if (!port_set) {
+      error = "--port is required";
+    } else if (!args.instance.empty() && args.generate.empty()) {
+      error = "--instance needs --generate";
+    }
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "dsf client: %s\n", error.c_str());
+    PrintClientUsage(stderr);
+    return 2;
+  }
+  return RunClient(args);
+}
+
 void PrintGenerators() {
   std::printf("generators (graph sources for 'generate <family> k=v ...'):\n");
   for (const auto name : GeneratorRegistry::Names()) {
@@ -440,6 +701,22 @@ void PrintGenerators() {
 }  // namespace dsf
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    try {
+      return dsf::RunServeCommand(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dsf serve: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    try {
+      return dsf::RunClientCommand(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dsf client: %s\n", e.what());
+      return 2;
+    }
+  }
   dsf::CliArgs args;
   std::string error;
   if (!dsf::ParseArgs(argc, argv, args, error)) {

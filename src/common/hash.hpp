@@ -1,0 +1,102 @@
+// Shared non-cryptographic hashing.
+//
+// Every place the library turns structured data into a 64-bit digest — seed
+// derivation (common/random.*), the service layer's canonical instance
+// hashing (serve/cache.*), and hash-container key scrambling
+// (congest/protocols.hpp) — goes through these two primitives instead of
+// ad-hoc mixing:
+//
+//   * `Mix64`: the SplitMix64 finalizer, a full-avalanche bijection on
+//     64-bit words. Cheap enough for per-element container hashing, strong
+//     enough that sequential ids do not collide into the same buckets.
+//   * `Fnv1a`: streaming FNV-1a over bytes/words for variable-length
+//     structures (graphs, instances, option blocks). Callers that need a
+//     wider key hash twice with different offset bases (see serve/cache.*).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dsf {
+
+// SplitMix64's golden-gamma increment; exposed so seed-sequence code
+// (common/random.*) and hashing agree on one constant.
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+// SplitMix64 finalizer (Stafford's Mix13 variant): bijective, full
+// avalanche — flipping any input bit flips each output bit with
+// probability ~1/2.
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Folds `v` into an accumulated digest (boost::hash_combine shape with the
+// stronger Mix64 scramble).
+[[nodiscard]] constexpr std::uint64_t HashCombine(std::uint64_t seed,
+                                                  std::uint64_t v) noexcept {
+  return Mix64(seed ^ (Mix64(v) + kGoldenGamma + (seed << 6) + (seed >> 2)));
+}
+
+// Streaming 64-bit FNV-1a. Word updates hash the value's 8 little-endian
+// bytes, so digests are independent of host byte order semantics (we only
+// ever hash values, not memory images).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr Fnv1a() noexcept = default;
+  constexpr explicit Fnv1a(std::uint64_t offset) noexcept : state_(offset) {}
+
+  constexpr Fnv1a& Byte(std::uint8_t b) noexcept {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a& U64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) Byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  constexpr Fnv1a& I64(std::int64_t v) noexcept {
+    return U64(static_cast<std::uint64_t>(v));
+  }
+
+  constexpr Fnv1a& Bytes(std::string_view s) noexcept {
+    for (const char c : s) Byte(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  // Raw FNV state. Pass through Mix64 when the digest keys a power-of-two
+  // bucket table (FNV's low bits are its weakest).
+  [[nodiscard]] constexpr std::uint64_t Digest() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] constexpr std::uint64_t MixedDigest() const noexcept {
+    return Mix64(state_);
+  }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+// Hash functor for unordered containers keyed by integral ids. libstdc++'s
+// std::hash<int> is the identity, which makes bucket occupancy mirror the
+// key distribution; routing through Mix64 decorrelates them.
+struct IdHash {
+  [[nodiscard]] std::size_t operator()(std::uint64_t v) const noexcept {
+    return static_cast<std::size_t>(Mix64(v));
+  }
+  [[nodiscard]] std::size_t operator()(std::int64_t v) const noexcept {
+    return static_cast<std::size_t>(Mix64(static_cast<std::uint64_t>(v)));
+  }
+  [[nodiscard]] std::size_t operator()(std::int32_t v) const noexcept {
+    return static_cast<std::size_t>(Mix64(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(v))));
+  }
+};
+
+}  // namespace dsf

@@ -4,7 +4,7 @@
 // polynomially bounded in n; we use 64-bit integers for weights and derived
 // sums, and `Real` (x86-64 extended precision) for moat radii / event times,
 // which are dyadic rationals and hence exactly representable at the instance
-// sizes this library targets (see DESIGN.md §7).
+// sizes this library targets (see DESIGN.md §8).
 #pragma once
 
 #include <cstdint>

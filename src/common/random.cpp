@@ -5,9 +5,12 @@
 namespace dsf {
 
 std::uint64_t DeriveSeed(std::uint64_t master, std::uint64_t index) noexcept {
-  SplitMix64 mix(master ^ (0x517cc1b727220a95ULL + index * 0x2545f4914f6cdd1dULL));
-  mix.Next();
-  return mix.Next();
+  // Historically the second SplitMix64 output of a decorrelated state; kept
+  // bit-for-bit (every recorded workload depends on it) but expressed via
+  // the shared avalanche: output #2 is Mix64(state + 2·gamma).
+  const std::uint64_t state =
+      master ^ (0x517cc1b727220a95ULL + index * 0x2545f4914f6cdd1dULL);
+  return Mix64(state + 2 * kGoldenGamma);
 }
 
 std::vector<NodeId> RandomPermutation(int n, SplitMix64& rng) {

@@ -2,28 +2,26 @@
 //
 // The CONGEST model grants each node an unlimited supply of independent random
 // bits; we derive per-node streams from a master seed via SplitMix64 so that
-// every experiment is bit-reproducible (DESIGN.md §7).
+// every experiment is bit-reproducible (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/ids.hpp"
 
 namespace dsf {
 
 // SplitMix64: tiny, high-quality mixer; used both as a standalone generator
-// and to derive independent seeds for per-node engines.
+// and to derive independent seeds for per-node engines. The output function
+// is the shared Mix64 avalanche (common/hash.hpp) over a golden-gamma
+// counter.
 class SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
 
-  std::uint64_t Next() noexcept {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  std::uint64_t Next() noexcept { return Mix64(state_ += kGoldenGamma); }
 
   // Uniform in [0, bound). bound must be > 0.
   std::uint64_t NextBelow(std::uint64_t bound) noexcept {

@@ -1,0 +1,32 @@
+// Shared line reading for every text-format parser (workload specs,
+// SteinLib/DIMACS imports, the wire protocol).
+//
+// All of the repo's formats are line-oriented; files and protocol payloads
+// authored on Windows (or sent by CRLF-framing clients) terminate lines
+// with "\r\n". std::getline leaves the '\r' on the line, where it would
+// ride along inside the last token of the line. Every parser reads through
+// `ReadLine`, which strips it exactly once, at the framing layer.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+
+namespace dsf {
+
+// std::getline with the trailing carriage return (if any) removed. Returns
+// false at end of input, like the getline it wraps.
+inline bool ReadLine(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+// The same strip for callers that frame lines themselves (the socket
+// server splits its receive buffer on '\n' without an istream).
+[[nodiscard]] inline std::string_view StripCr(std::string_view line) noexcept {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace dsf

@@ -223,7 +223,7 @@ void Network::TickNode(NodeId v) {
 void Network::ApplyDeferredEffects() {
   // Marked-edge and phase effects are applied in node order regardless of
   // which thread ran the node, reproducing the sequential schedule bit for
-  // bit (the §6 determinism contract).
+  // bit (the §8 determinism contract).
   for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
     auto& st = nodes_[static_cast<std::size_t>(v)];
     if (!st.mark_ops.empty()) {

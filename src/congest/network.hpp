@@ -19,7 +19,7 @@
 //   * phase (i) can run across a reusable thread pool; output-side effects
 //     (MarkEdge/UnmarkEdge, NotePhases) are deferred into per-node queues
 //     and applied serially in node order, so runs stay bit-identical to the
-//     sequential schedule (§6 reproducibility).
+//     sequential schedule (§8 reproducibility).
 #pragma once
 
 #include <condition_variable>

@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "congest/network.hpp"
 
 namespace dsf {
@@ -234,8 +235,11 @@ class KeyedEdgeQueues {
  private:
   std::vector<std::deque<NodeId>> queue_;
   // Membership dedup per edge; only insert/erase/lookup, so the container's
-  // iteration order is irrelevant to the run.
-  std::vector<std::unordered_set<NodeId>> queued_;
+  // iteration order is irrelevant to the run. Keys are scrambled through the
+  // shared Mix64 avalanche (common/hash.hpp): node ids arrive in runs of
+  // near-consecutive values, which the identity std::hash<int> would map to
+  // runs of adjacent buckets.
+  std::vector<std::unordered_set<NodeId, IdHash>> queued_;
   std::size_t pending_ = 0;  // total keys across all edge queues
 };
 

@@ -356,7 +356,7 @@ DetMoatResult RunDistributedMoat(const Graph& g, const IcInstance& ic,
   result.phases = root.schedule.merge_phases;
   result.checkpoints = root.schedule.growth_phases;
   // Minimal-subforest extraction: centralized substitute for the token
-  // routing of Appendix F.3 (DESIGN.md §6).
+  // routing of Appendix F.3 (DESIGN.md §7).
   result.forest = MinimalFeasibleSubforest(g, MakeMinimal(ic), root.raw_edges);
   return result;
 }

@@ -23,7 +23,7 @@
 //      the reported edges in source-to-target order.
 //
 // The final minimal-subforest extraction (Algorithm 1 line 34, Appendix F.3)
-// is substituted by the centralized pruner and documented in DESIGN.md §6.
+// is substituted by the centralized pruner and documented in DESIGN.md §7.
 #pragma once
 
 #include <cstdint>

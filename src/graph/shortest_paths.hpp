@@ -5,7 +5,7 @@
 // every experiment. The distributed protocols themselves run Bellman-Ford
 // style message passing on the simulator and only reach for this code in
 // their explicitly substituted subroutines (charged via
-// Network::ChargeRounds / RunStats::charged_rounds — see DESIGN.md §6),
+// Network::ChargeRounds / RunStats::charged_rounds — see DESIGN.md §7),
 // which is why the Dijkstra tie-breaking below must match the distributed
 // relaxation order exactly.
 #pragma once

@@ -1,0 +1,197 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsf {
+
+const SolveResult& UnitTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+void UnitTicket::Complete(SolveResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void UnitTicket::CompleteError(std::string error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error_ = std::move(error);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionQueue::AdmissionQueue(ResultCache* cache, AdmissionOptions options)
+    : cache_(cache), options_(options) {
+  BatchOptions bopt;
+  bopt.threads = options_.threads;
+  // master_seed stays 0: units arrive with their final seeds already
+  // derived (serve/protocol.cpp), so batch composition — which units from
+  // which connections happen to share a dispatch — cannot change results.
+  bopt.master_seed = 0;
+  engine_ = std::make_unique<BatchEngine>(bopt);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+AdmissionQueue::~AdmissionQueue() { Drain(); }
+
+AdmissionQueue::Admission AdmissionQueue::SubmitAll(
+    std::span<const SolveRequest> units, std::span<const CacheKey> keys,
+    std::span<const std::uint64_t> seeds) {
+  Admission admission;
+  admission.tickets.reserve(units.size());
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) {
+      ++counters_.rejected;
+      return admission;
+    }
+    // First pass: units whose key is not in flight need queue room. A key
+    // repeated *within* this submission is admitted once and joined by the
+    // later occurrences, exactly like a cross-connection duplicate.
+    std::size_t fresh = 0;
+    for (const CacheKey& key : keys) {
+      if (inflight_.find(key) == inflight_.end()) ++fresh;
+    }
+    // (duplicate keys inside `keys` double-count here; the bound is a guard
+    // rail, not an exact budget, and over-counting only rejects earlier)
+    if (counters_.depth + fresh > static_cast<std::uint64_t>(options_.max_pending)) {
+      ++counters_.rejected;
+      return admission;
+    }
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const auto it = inflight_.find(keys[i]);
+      if (it != inflight_.end()) {
+        admission.tickets.push_back(it->second);
+        ++admission.coalesced;
+        ++counters_.coalesced;
+        continue;
+      }
+      Task task;
+      task.request = units[i];
+      task.request.seed = seeds[i];
+      task.key = keys[i];
+      task.ticket = std::make_shared<UnitTicket>();
+      inflight_.emplace(keys[i], task.ticket);
+      admission.tickets.push_back(task.ticket);
+      queue_.push_back(std::move(task));
+      ++counters_.admitted;
+      ++counters_.depth;
+      counters_.peak_depth = std::max(counters_.peak_depth, counters_.depth);
+      enqueued = true;
+    }
+  }
+  if (enqueued) cv_.notify_one();
+  return admission;
+}
+
+void AdmissionQueue::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  cv_.notify_all();
+  // join() must happen exactly once even when Shutdown and the destructor
+  // race; joinable() alone is not a safe gate across threads.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void AdmissionQueue::DispatchLoop() {
+  while (true) {
+    std::vector<Task> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closing with an empty queue: drained
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(options_.batch_max));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    std::vector<SolveRequest> requests;
+    requests.reserve(batch.size());
+    for (Task& t : batch) requests.push_back(std::move(t.request));
+
+    std::vector<SolveResult> results;
+    std::string error;
+    try {
+      results = engine_->Run(requests);
+    } catch (const std::exception& e) {
+      // One poisoned unit fails its whole dispatch (the engine drains, then
+      // rethrows without per-unit attribution). The server pre-validates
+      // workloads, so this is a backstop, not a traffic path.
+      error = e.what();
+    }
+
+    if (error.empty()) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        cache_->Insert(batch[i].key, results[i]);
+        RecordLatency(results[i].solver, results[i].wall_ms);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const Task& t : batch) inflight_.erase(t.key);
+      counters_.computed += batch.size();
+      counters_.depth -= batch.size();
+      ++counters_.batches;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (error.empty()) {
+        batch[i].ticket->Complete(std::move(results[i]));
+      } else {
+        batch[i].ticket->CompleteError(error);
+      }
+    }
+  }
+}
+
+void AdmissionQueue::RecordLatency(const std::string& solver, double ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  LatencyRing& ring = latency_[solver];
+  if (ring.samples.size() < kLatencyWindow) {
+    ring.samples.push_back(ms);
+  } else {
+    ring.samples[ring.next] = ms;
+    ring.next = (ring.next + 1) % kLatencyWindow;
+  }
+  ++ring.count;
+}
+
+QueueCounters AdmissionQueue::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<SolverLatency> AdmissionQueue::Latencies() const {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  std::vector<SolverLatency> out;
+  out.reserve(latency_.size());
+  for (const auto& [solver, ring] : latency_) {
+    SolverLatency s;
+    s.solver = solver;
+    s.count = ring.count;
+    std::vector<double> sorted = ring.samples;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_ms = PercentileOfSorted(sorted, 0.50);
+    s.p95_ms = PercentileOfSorted(sorted, 0.95);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace dsf

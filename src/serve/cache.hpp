@@ -1,0 +1,119 @@
+// Canonical instance hashing and the sharded LRU result cache of the
+// service layer (DESIGN.md §5).
+//
+// Real traffic repeats instances: re-solving a perturbed-but-identical
+// request is pure waste once the service is resident. `CanonicalHash` turns
+// one unit of solver work — (topology, instance, solver, options, seed) —
+// into a 128-bit content key that is independent of request framing: two
+// requests that would run the exact same deterministic computation collide
+// by construction, and nothing else does (two independent FNV-1a streams
+// over the canonical field order; a collision needs both 64-bit digests to
+// agree).
+//
+// `ResultCache` maps keys to finished `SolveResult`s. It is sharded by key
+// so concurrent connection handlers do not serialize on one mutex; each
+// shard runs an intrusive LRU over an open-addressed map. Hit / miss /
+// eviction / insert counters are process-wide atomics surfaced through the
+// `/stats` request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "solve/solver.hpp"
+
+namespace dsf {
+
+// 128-bit content key: two independent FNV-1a digests of the same fields.
+struct CacheKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+    // lo is already a mixed digest; hi guards against lo-collisions at the
+    // equality check, not at bucketing.
+    return static_cast<std::size_t>(k.lo);
+  }
+};
+
+// Digest of a finalized topology (n, m, every edge as (u, v, w) in id
+// order). One graph serves many units; hash it once per case and pass the
+// digest to CanonicalHash.
+[[nodiscard]] CacheKey HashGraph(const Graph& g);
+
+// The canonical key of one unit of solver work. `seed` is the *final*
+// per-unit seed (after any master-seed derivation) — the value the solver
+// core actually consumes — so batch position and request framing cannot
+// split identical computations into distinct keys. Options fold in every
+// knob that changes the output (epsilon, repetitions, prune); validate and
+// reference accounting do not alter the forest and are excluded.
+[[nodiscard]] CacheKey CanonicalHash(const CacheKey& graph, const SolveRequest& request,
+                                     std::uint64_t seed);
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t entries = 0;   // current resident entries across shards
+  std::uint64_t capacity = 0;  // configured total capacity
+};
+
+class ResultCache {
+ public:
+  // At most `capacity` resident entries total, spread over `shards`
+  // (rounded up to a power of two, clamped to [1, 64], and shrunk when
+  // capacity < shards — the capacity bound always wins). capacity == 0
+  // disables caching (every lookup is a miss, inserts are dropped).
+  explicit ResultCache(std::size_t capacity, int shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Copies the cached result out under the shard lock (callers own their
+  // copy; no reference escapes the shard). Counts a hit or a miss.
+  [[nodiscard]] std::optional<SolveResult> Lookup(const CacheKey& key);
+
+  // Inserts (or refreshes) `result` under `key`, evicting the shard's LRU
+  // tail when full. Re-inserting an existing key refreshes recency only —
+  // results are deterministic functions of the key, so the value cannot
+  // have changed.
+  void Insert(const CacheKey& key, const SolveResult& result);
+
+  [[nodiscard]] CacheCounters Counters() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    // Most-recently-used at the front; the list owns keys + values, the map
+    // indexes into it.
+    std::list<std::pair<CacheKey, SolveResult>> lru;
+    std::unordered_map<CacheKey,
+                       std::list<std::pair<CacheKey, SolveResult>>::iterator,
+                       CacheKeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const CacheKey& key) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_ = 0;
+  std::size_t capacity_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace dsf

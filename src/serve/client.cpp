@@ -1,0 +1,191 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/text.hpp"
+#include "serve/sockets.hpp"
+
+namespace dsf {
+
+ClientConnection::ClientConnection(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("invalid host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + what);
+  }
+}
+
+ClientConnection::~ClientConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ClientConnection::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  if (!SendAll(fd_, framed.data(), framed.size())) {
+    throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+bool ClientConnection::RecvLine(std::string& line) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(StripCr(std::string_view(buffer_).substr(0, nl)));
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+JsonValue ClientConnection::RoundTrip(std::string_view request_line) {
+  SendLine(request_line);
+  std::string response;
+  if (!RecvLine(response)) {
+    throw std::runtime_error("server closed the connection mid-request");
+  }
+  return ParseJson(response);
+}
+
+std::string BuildClientRequest(const ClientArgs& args) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("op");
+  if (args.stats) {
+    json.String("stats");
+  } else if (args.ping) {
+    json.String("ping");
+  } else {
+    json.String("solve");
+    if (!args.scenario_path.empty()) {
+      std::ifstream in(args.scenario_path);
+      if (!in) {
+        throw std::runtime_error("cannot read scenario file: " +
+                                 args.scenario_path);
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      json.Key("spec");
+      json.String(text.str());
+    } else {
+      json.Key("generate");
+      json.String(args.generate);
+      if (!args.instance.empty()) {
+        json.Key("instance");
+        json.String(args.instance);
+      }
+    }
+    if (!args.solvers.empty()) {
+      json.Key("solvers");
+      json.BeginArray();
+      std::istringstream names(args.solvers);
+      std::string name;
+      while (std::getline(names, name, ',')) {
+        if (!name.empty()) json.String(name);
+      }
+      json.EndArray();
+    }
+    if (args.seed_set) {
+      json.Key("seed");
+      json.UInt(args.seed);
+    }
+    if (args.epsilon > 0.0) {
+      json.Key("epsilon");
+      // Full precision: the server's solve must see the same double the
+      // one-shot CLI would parse from the same --epsilon string.
+      json.DoubleExact(args.epsilon);
+    }
+    if (args.repetitions != 1) {
+      json.Key("repetitions");
+      json.Int(args.repetitions);
+    }
+    if (!args.prune) {
+      json.Key("prune");
+      json.Bool(false);
+    }
+  }
+  json.EndObject();
+  return os.str();
+}
+
+int RunClient(const ClientArgs& args) {
+  const std::string request = BuildClientRequest(args);
+  ClientConnection conn(args.host, args.port);
+
+  std::ofstream file;
+  if (!args.json_path.empty()) {
+    file.open(args.json_path);
+    if (!file) {
+      throw std::runtime_error("cannot write " + args.json_path);
+    }
+  }
+
+  const int sends = (args.stats || args.ping) ? 1 : args.repeat;
+  bool all_ok = true;
+  for (int i = 0; i < sends; ++i) {
+    conn.SendLine(request);
+    std::string response;
+    if (!conn.RecvLine(response)) {
+      std::fprintf(stderr, "dsf client: server closed the connection\n");
+      return 2;
+    }
+    std::printf("%s\n", response.c_str());
+    if (file.is_open()) file << response << "\n";
+
+    const JsonValue doc = ParseJson(response);
+    if (!doc.GetBool("ok", false)) {
+      all_ok = false;
+      continue;
+    }
+    if (const JsonValue* results = doc.Find("results")) {
+      for (const JsonValue& r : results->array) {
+        if (!r.GetBool("feasible", false)) all_ok = false;
+      }
+    }
+  }
+  if (file.is_open()) {
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "dsf client: error writing %s\n",
+                   args.json_path.c_str());
+      return 2;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace dsf

@@ -1,0 +1,66 @@
+// Client side of the dsf service: a tiny blocking line-protocol connection
+// (used by `dsf client`, the serve tests, and the bench_serve load
+// generator) plus the `dsf client` subcommand logic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "cli/json.hpp"
+
+namespace dsf {
+
+// One blocking TCP connection speaking newline-delimited JSON. Methods
+// throw std::runtime_error on socket failures.
+class ClientConnection {
+ public:
+  ClientConnection(const std::string& host, int port);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  // Sends `line` plus the terminating newline.
+  void SendLine(std::string_view line);
+  // Receives the next response line (newline stripped). False on EOF.
+  bool RecvLine(std::string& line);
+
+  // Send + receive + parse in one step; throws when the server hangs up.
+  JsonValue RoundTrip(std::string_view request_line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// `dsf client` subcommand arguments (parsed in cli/main.cpp).
+struct ClientArgs {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Exactly one of: scenario file (sent inline as "spec"), generator spec,
+  // stats, ping.
+  std::string scenario_path;
+  std::string generate;
+  std::string instance;  // optional with --generate
+  bool stats = false;
+  bool ping = false;
+  std::string solvers;   // comma list; empty = all
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  double epsilon = 0.0;
+  int repetitions = 1;
+  bool prune = true;
+  int repeat = 1;        // send the same solve N times (duplicate burst)
+  std::string json_path; // write response lines here as well
+};
+
+// Runs the subcommand: sends the request(s), prints each response line to
+// stdout, and returns 0 iff every response was ok (and, for solves, every
+// result feasible).
+int RunClient(const ClientArgs& args);
+
+// Builds the request line for `args` (exposed for tests).
+std::string BuildClientRequest(const ClientArgs& args);
+
+}  // namespace dsf

@@ -1,0 +1,436 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "common/random.hpp"
+#include "graph/properties.hpp"
+#include "solve/solver.hpp"
+#include "workload/spec.hpp"
+
+namespace dsf {
+
+namespace {
+
+// Protocol failures carry a client-facing message; anything else escaping
+// the handlers is reported verbatim the same way.
+std::string ErrorResponse(const std::string& id, const std::string& error,
+                          long long queue_depth = -1) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  if (!id.empty()) {
+    json.Key("id");
+    json.String(id);
+  }
+  json.Key("ok");
+  json.Bool(false);
+  json.Key("error");
+  json.String(error);
+  if (queue_depth >= 0) {
+    json.Key("queue_depth");
+    json.Int(queue_depth);
+  }
+  json.EndObject();
+  return os.str();
+}
+
+// Reads an integral field: present-but-fractional or out-of-range values
+// are protocol errors, not truncations. Parsed from the raw literal, not
+// the double, so large values arrive exactly.
+std::optional<long long> GetInteger(const JsonValue& req,
+                                    std::string_view key, long long lo,
+                                    long long hi) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return std::nullopt;
+  const auto fail = [&]() -> std::runtime_error {
+    return std::runtime_error("field '" + std::string(key) +
+                              "' must be an integer in [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) +
+                              "]");
+  };
+  if (!v->IsNumber()) throw fail();
+  if (v->string.find_first_of(".eE") != std::string::npos) throw fail();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(v->string.c_str(), &end, 10);
+  if (end != v->string.c_str() + v->string.size() || errno == ERANGE ||
+      value < lo || value > hi) {
+    throw fail();
+  }
+  return value;
+}
+
+// The seed is a full uint64 (like the CLI's --seed): parsed from the raw
+// literal so values above 2^53 arrive exactly — the seed is part of the
+// cache key and of the bit-identity contract with the one-shot CLI.
+std::optional<std::uint64_t> GetSeed(const JsonValue& req) {
+  const JsonValue* v = req.Find("seed");
+  if (v == nullptr) return std::nullopt;
+  const auto fail = [] {
+    return std::runtime_error("field 'seed' must be an integer >= 1");
+  };
+  if (!v->IsNumber() ||
+      v->string.find_first_of(".eE-") != std::string::npos) {
+    throw fail();
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(v->string.c_str(), &end, 10);
+  if (end != v->string.c_str() + v->string.size() || errno == ERANGE ||
+      value == 0) {
+    throw fail();
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+// Builds the workload text of a request: either the inline spec verbatim or
+// a synthesized two-line spec from the named generator form.
+std::string RequestSpecText(const JsonValue& req) {
+  const JsonValue* spec = req.Find("spec");
+  const JsonValue* generate = req.Find("generate");
+  if ((spec != nullptr) == (generate != nullptr)) {
+    throw std::runtime_error(
+        "solve needs exactly one of 'spec' (inline workload text) or "
+        "'generate' (named generator spec)");
+  }
+  if (spec != nullptr) {
+    if (!spec->IsString()) throw std::runtime_error("'spec' must be a string");
+    return spec->string;
+  }
+  if (!generate->IsString()) {
+    throw std::runtime_error("'generate' must be a string");
+  }
+  // "grid rows=4 cols=4" -> generate directive; the instance draw defaults
+  // to a small random-ic sample and is named "sampled" on the wire.
+  std::string instance = req.GetString("instance", "random-ic k=2 tpc=2");
+  std::istringstream fields(instance);
+  std::string sampler;
+  if (!(fields >> sampler)) {
+    throw std::runtime_error("'instance' must name a sampler");
+  }
+  std::string params;
+  std::getline(fields, params);
+  std::ostringstream text;
+  text << "generate " << generate->string << "\n"
+       << "sample " << sampler << " sampled" << params << "\n";
+  return text.str();
+}
+
+struct SolvePlan {
+  WorkloadSpec spec;
+  std::vector<std::string> solvers;
+  SolveOptions options;
+};
+
+SolvePlan ParseSolve(const JsonValue& req) {
+  SolvePlan plan;
+  const std::string text = RequestSpecText(req);
+  std::istringstream in(text);
+  plan.spec = ParseWorkloadSpec(in, "<wire>");
+  // Wire specs run with an empty base_dir, but `import` would still read
+  // files local to the *server*; clients must inline file contents instead
+  // (`dsf client --scenario` does exactly that).
+  for (const CaseSpec& cs : plan.spec.cases) {
+    if (cs.kind == CaseSpec::Kind::kImportStp ||
+        cs.kind == CaseSpec::Kind::kImportDimacs) {
+      throw std::runtime_error(
+          "'import' is not allowed over the wire; inline the file as a "
+          "'graph' block or send it through dsf client --scenario");
+    }
+  }
+  if (const auto seed = GetSeed(req)) plan.spec.seed = *seed;
+
+  const JsonValue* solvers = req.Find("solvers");
+  if (solvers != nullptr) {
+    if (!solvers->IsArray()) {
+      throw std::runtime_error("'solvers' must be an array of names");
+    }
+    for (const JsonValue& s : solvers->array) {
+      if (!s.IsString()) {
+        throw std::runtime_error("'solvers' must be an array of names");
+      }
+      plan.solvers.push_back(s.string);
+    }
+  }
+  if (plan.solvers.empty()) {
+    for (const auto name : SolverRegistry::Names()) {
+      plan.solvers.emplace_back(name);
+    }
+  }
+  for (const std::string& name : plan.solvers) {
+    if (SolverRegistry::Find(name) == nullptr) {
+      throw std::runtime_error("unknown solver '" + name + "'");
+    }
+  }
+
+  const double epsilon = req.GetNumber("epsilon", 0.0);
+  if (!(epsilon >= 0.0) || epsilon > 64.0) {
+    throw std::runtime_error("'epsilon' must be in [0, 64]");
+  }
+  plan.options.epsilon = static_cast<Real>(epsilon);
+  plan.options.repetitions = static_cast<int>(
+      GetInteger(req, "repetitions", 1, 1 << 20).value_or(1));
+  plan.options.prune = req.GetBool("prune", true);
+  plan.options.validate = true;
+  return plan;
+}
+
+void WriteUnitResult(JsonWriter& json, const WorkloadCase& wc,
+                     const WorkloadInstance& inst, const SolveResult& r,
+                     bool cached) {
+  json.BeginObject();
+  json.Key("solver");
+  json.String(r.solver);
+  json.Key("case");
+  json.String(wc.name);
+  json.Key("instance");
+  json.String(inst.name);
+  json.Key("input");
+  json.String(inst.use_cr ? "cr" : "ic");
+  json.Key("weight");
+  json.Int(static_cast<long long>(r.weight));
+  json.Key("feasible");
+  json.Bool(r.feasible);
+  json.Key("edges");
+  json.BeginArray();
+  for (const EdgeId e : r.forest) json.Int(e);
+  json.EndArray();
+  json.Key("rounds");
+  json.Int(r.stats.rounds);
+  json.Key("messages");
+  json.Int(r.stats.messages);
+  json.Key("wall_ms");
+  json.Double(r.wall_ms);
+  json.Key("cached");
+  json.Bool(cached);
+  json.EndObject();
+}
+
+std::string HandleSolve(ServeContext& ctx, const JsonValue& req,
+                        const std::string& id) {
+  const auto start = std::chrono::steady_clock::now();
+  const SolvePlan plan = ParseSolve(req);
+  const Workload workload = ExpandWorkload(plan.spec);
+  for (const WorkloadCase& wc : workload.cases) {
+    if (!IsConnected(wc.graph)) {
+      // The pipeline would throw mid-batch and poison co-dispatched units;
+      // reject at admission instead.
+      throw std::runtime_error("case '" + wc.name +
+                               "' is disconnected; no distributed protocol "
+                               "can run on it");
+    }
+  }
+  const RequestMatrix matrix =
+      BuildRequests(workload, plan.solvers, plan.options);
+  const std::size_t n = matrix.requests.size();
+
+  // One canonical key per unit; graphs hashed once per case.
+  std::vector<CacheKey> graph_hash;
+  graph_hash.reserve(workload.cases.size());
+  for (const WorkloadCase& wc : workload.cases) {
+    graph_hash.push_back(HashGraph(wc.graph));
+  }
+  std::vector<CacheKey> keys(n);
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The unit's final seed, identical to what the one-shot CLI's batch
+    // engine would derive for matrix position i.
+    seeds[i] = DeriveSeed(plan.spec.seed, static_cast<std::uint64_t>(i));
+    keys[i] = CanonicalHash(
+        graph_hash[static_cast<std::size_t>(matrix.case_index[i])],
+        matrix.requests[i], seeds[i]);
+  }
+
+  std::vector<SolveResult> results(n);
+  std::vector<bool> cached(n, false);
+  std::vector<std::size_t> miss_index;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto hit = ctx.cache->Lookup(keys[i])) {
+      results[i] = std::move(*hit);
+      cached[i] = true;
+    } else {
+      miss_index.push_back(i);
+    }
+  }
+
+  std::uint64_t coalesced = 0;
+  if (!miss_index.empty()) {
+    std::vector<SolveRequest> miss_units;
+    std::vector<CacheKey> miss_keys;
+    std::vector<std::uint64_t> miss_seeds;
+    miss_units.reserve(miss_index.size());
+    for (const std::size_t i : miss_index) {
+      miss_units.push_back(matrix.requests[i]);
+      miss_keys.push_back(keys[i]);
+      miss_seeds.push_back(seeds[i]);
+    }
+    auto admission = ctx.queue->SubmitAll(miss_units, miss_keys, miss_seeds);
+    if (admission.tickets.empty()) {
+      return ErrorResponse(
+          id, "overloaded",
+          static_cast<long long>(ctx.queue->Counters().depth));
+    }
+    coalesced = admission.coalesced;
+    // Wait for EVERY ticket before reacting to errors: queued units borrow
+    // this handler's workload graphs, so returning early would free memory
+    // the dispatcher is about to read.
+    std::string error;
+    for (std::size_t j = 0; j < miss_index.size(); ++j) {
+      const SolveResult& r = admission.tickets[j]->Wait();
+      if (error.empty() && !admission.tickets[j]->Error().empty()) {
+        error = admission.tickets[j]->Error();
+      }
+      results[miss_index[j]] = r;
+    }
+    if (!error.empty()) return ErrorResponse(id, error);
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  if (!id.empty()) {
+    json.Key("id");
+    json.String(id);
+  }
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("seed");
+  json.UInt(plan.spec.seed);
+  json.Key("requests");
+  json.Int(static_cast<long long>(n));
+  json.Key("hits");
+  json.Int(static_cast<long long>(n - miss_index.size()));
+  json.Key("misses");
+  json.Int(static_cast<long long>(miss_index.size()));
+  json.Key("coalesced");
+  json.Int(static_cast<long long>(coalesced));
+  json.Key("wall_ms");
+  json.Double(std::chrono::duration<double, std::milli>(stop - start).count());
+  json.Key("results");
+  json.BeginArray();
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkloadCase& wc =
+        workload.cases[static_cast<std::size_t>(matrix.case_index[i])];
+    const WorkloadInstance& inst =
+        wc.instances[static_cast<std::size_t>(matrix.instance_index[i])];
+    WriteUnitResult(json, wc, inst, results[i], cached[i]);
+  }
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+std::string HandleStats(ServeContext& ctx, const std::string& id) {
+  const CacheCounters cache = ctx.cache->Counters();
+  const QueueCounters queue = ctx.queue->Counters();
+  const auto latencies = ctx.queue->Latencies();
+  const auto now = std::chrono::steady_clock::now();
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  if (!id.empty()) {
+    json.Key("id");
+    json.String(id);
+  }
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("uptime_ms");
+  json.Double(
+      std::chrono::duration<double, std::milli>(now - ctx.started).count());
+  json.Key("cache");
+  json.BeginObject();
+  json.Key("hits");
+  json.UInt(cache.hits);
+  json.Key("misses");
+  json.UInt(cache.misses);
+  json.Key("evictions");
+  json.UInt(cache.evictions);
+  json.Key("inserts");
+  json.UInt(cache.inserts);
+  json.Key("entries");
+  json.UInt(cache.entries);
+  json.Key("capacity");
+  json.UInt(cache.capacity);
+  json.EndObject();
+  json.Key("queue");
+  json.BeginObject();
+  json.Key("depth");
+  json.UInt(queue.depth);
+  json.Key("peak_depth");
+  json.UInt(queue.peak_depth);
+  json.Key("admitted");
+  json.UInt(queue.admitted);
+  json.Key("coalesced");
+  json.UInt(queue.coalesced);
+  json.Key("rejected");
+  json.UInt(queue.rejected);
+  json.Key("batches");
+  json.UInt(queue.batches);
+  json.Key("computed");
+  json.UInt(queue.computed);
+  json.EndObject();
+  json.Key("solvers");
+  json.BeginArray();
+  for (const SolverLatency& s : latencies) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(s.solver);
+    json.Key("count");
+    json.UInt(s.count);
+    json.Key("p50_ms");
+    json.Double(s.p50_ms);
+    json.Key("p95_ms");
+    json.Double(s.p95_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+}  // namespace
+
+std::string HandleRequestLine(ServeContext& ctx, std::string_view line) {
+  std::string id;
+  try {
+    const JsonValue req = ParseJson(line);
+    if (!req.IsObject()) {
+      return ErrorResponse("", "request must be a JSON object");
+    }
+    id = req.GetString("id", "");
+    const std::string op = req.GetString("op", "");
+    if (op == "ping") {
+      std::ostringstream os;
+      JsonWriter json(os);
+      json.BeginObject();
+      if (!id.empty()) {
+        json.Key("id");
+        json.String(id);
+      }
+      json.Key("ok");
+      json.Bool(true);
+      json.Key("pong");
+      json.Bool(true);
+      json.EndObject();
+      return os.str();
+    }
+    if (op == "stats") return HandleStats(ctx, id);
+    if (op == "solve") return HandleSolve(ctx, req, id);
+    return ErrorResponse(
+        id, op.empty() ? "missing 'op' (solve | stats | ping)"
+                       : "unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    return ErrorResponse(id, e.what());
+  }
+}
+
+}  // namespace dsf

@@ -1,0 +1,67 @@
+// Wire protocol of the dsf service (DESIGN.md §5): line-delimited JSON.
+//
+// Every request is one JSON object on one line; every response is one JSON
+// object on one line. Grammar (fields not listed are rejected only when
+// ill-typed; unknown keys are ignored for forward compatibility):
+//
+//   {"op":"solve", "id":STR?,
+//    "spec":STR                      — inline workload text (full .dsf
+//                                      grammar except `import`, which would
+//                                      read server-local files), or
+//    "generate":STR, "instance":STR? — named generator spec, e.g.
+//                                      "grid rows=4 cols=4" plus an optional
+//                                      "<sampler> [k=v ...]" instance draw
+//                                      (default "random-ic k=2 tpc=2"),
+//    "solvers":[STR...]?             — default: every registered solver,
+//    "seed":N?                       — overrides the spec-level seed (>= 1),
+//    "epsilon":X?, "repetitions":N?, "prune":BOOL?}
+//   {"op":"stats", "id":STR?}
+//   {"op":"ping", "id":STR?}
+//
+// Solve responses carry one result object per case x instance x solver
+// cell, in the same order as the one-shot CLI, and are bit-identical to a
+// one-shot `dsf --scenario` run on the same spec and seed: unit i of the
+// expanded request matrix is solved with seed DeriveSeed(spec seed, i)
+// regardless of cache state, batching, or which connection computed it.
+//
+//   {"id":..., "ok":true, "seed":N, "requests":N, "hits":N, "misses":N,
+//    "coalesced":N, "wall_ms":X, "results":[
+//      {"solver":S,"case":C,"instance":I,"input":"ic"|"cr","weight":W,
+//       "feasible":B,"edges":[...],"rounds":N,"messages":N,"wall_ms":X,
+//       "cached":B}, ...]}
+//   {"id":..., "ok":false, "error":STR}            — parse/validation errors
+//   {"id":..., "ok":false, "error":"overloaded", "queue_depth":N}
+//
+// The stats response exposes the cache counters, queue depths, and the
+// per-solver latency digest:
+//
+//   {"ok":true,"uptime_ms":X,
+//    "cache":{"hits","misses","evictions","inserts","entries","capacity"},
+//    "queue":{"depth","peak_depth","admitted","coalesced","rejected",
+//             "batches","computed"},
+//    "solvers":[{"name","count","p50_ms","p95_ms"},...]}
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+
+namespace dsf {
+
+// Shared state a connection handler executes requests against.
+struct ServeContext {
+  ResultCache* cache = nullptr;
+  AdmissionQueue* queue = nullptr;
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+};
+
+// Executes one request line and returns the response line (no trailing
+// newline). Never throws: every failure becomes an {"ok":false,...}
+// response.
+std::string HandleRequestLine(ServeContext& ctx, std::string_view line);
+
+}  // namespace dsf

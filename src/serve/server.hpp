@@ -1,0 +1,106 @@
+// The resident dsf service (DESIGN.md §5): a dependency-free POSIX TCP
+// server speaking the line-delimited JSON protocol of serve/protocol.hpp.
+//
+// Thread structure:
+//   * one accept thread (poll over the listen socket and a self-pipe),
+//   * one detached handler thread per connection — handlers parse
+//     requests, probe the shared `ResultCache`, and block on
+//     `AdmissionQueue` tickets; they never run solver work, and they are
+//     counted rather than joined (a resident server must not accumulate a
+//     zombie joinable thread per finished connection),
+//   * the admission queue's dispatcher thread, which owns the only
+//     `BatchEngine` (--threads executors).
+//
+// Shutdown (SIGINT via `RunServe`, or `RequestShutdown()` from tests) is a
+// drain, not an abort: stop accepting, half-close every connection so
+// handlers finish the request lines already received and deliver their
+// responses, wait for the handler count to reach zero, then drain the
+// queue. `Wait()` returns 0 after a clean drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace dsf {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;              // 0 = ephemeral; Port() reports the bound port
+  int threads = 1;           // batch engine executors (0 = hardware)
+  int batch_max = 32;        // units per dispatched batch
+  int max_pending = 1024;    // admission bound (queued + running units)
+  std::size_t cache_entries = 4096;
+  int cache_shards = 8;
+  // One request line must fit in memory; longer lines fail the connection.
+  std::size_t max_line_bytes = 4u << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds + listens + spawns the accept thread. Throws std::runtime_error
+  // when the socket cannot be bound.
+  void Start();
+
+  // The bound port (valid after Start()).
+  [[nodiscard]] int Port() const noexcept { return port_; }
+
+  // Triggers the drain. Async-signal-safe (a single write to a pipe), so
+  // `RunServe` calls it straight from the SIGINT handler.
+  void RequestShutdown() noexcept;
+
+  // Blocks until the server has fully drained; returns the process exit
+  // code (0 on a clean drain).
+  int Wait();
+
+  // Introspection for tests and the in-process bench.
+  [[nodiscard]] ResultCache& Cache() noexcept { return *cache_; }
+  [[nodiscard]] AdmissionQueue& Queue() noexcept { return *queue_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ServeOptions options_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  ServeContext context_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int shutdown_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+
+  // Handler threads run detached — a resident server must not accumulate
+  // one joinable zombie (stack mapping included) per finished connection —
+  // so connection tracking is a counter: the drain waits for it to reach
+  // zero instead of joining.
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::vector<int> conn_fds_;
+  int active_handlers_ = 0;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+// CLI entry: starts the server, prints one {"listening":...} JSON line to
+// stdout (CI and scripts scrape the bound port from it), installs SIGINT /
+// SIGTERM drain handlers, and blocks until shutdown.
+int RunServe(const ServeOptions& options);
+
+}  // namespace dsf

@@ -1,0 +1,31 @@
+// Low-level socket helpers shared by both ends of the wire (server.cpp and
+// client.cpp), so the two sides of the protocol cannot drift.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace dsf {
+
+// Writes the whole buffer, riding out EINTR and partial writes. send() with
+// MSG_NOSIGNAL instead of write(): a peer that hung up must yield EPIPE,
+// not kill the process. A socket SO_SNDTIMEO (the server sets one per
+// connection) surfaces as EAGAIN and fails the call — an unresponsive
+// reader drops its connection instead of pinning the sender. On failure
+// errno is left set for the caller.
+inline bool SendAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace dsf

@@ -16,14 +16,14 @@ int ResolveThreads(int requested) {
   return std::clamp(static_cast<int>(hw), 1, 16);
 }
 
-double Percentile(const std::vector<double>& sorted, double p) {
+}  // namespace
+
+double PercentileOfSorted(std::span<const double> sorted, double p) {
   if (sorted.empty()) return 0.0;
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
 }
-
-}  // namespace
 
 BatchEngine::BatchEngine(BatchOptions options)
     : threads_(ResolveThreads(options.threads)),
@@ -77,8 +77,8 @@ std::vector<SolveResult> BatchEngine::Run(
     if (r.validated && !r.feasible) ++stats_.infeasible;
   }
   std::sort(latencies.begin(), latencies.end());
-  stats_.p50_ms = Percentile(latencies, 0.50);
-  stats_.p95_ms = Percentile(latencies, 0.95);
+  stats_.p50_ms = PercentileOfSorted(latencies, 0.50);
+  stats_.p95_ms = PercentileOfSorted(latencies, 0.95);
   stats_.max_ms = latencies.empty() ? 0.0 : latencies.back();
   return results;
 }

@@ -45,6 +45,13 @@ struct BatchStats {
   long total_messages = 0;
 };
 
+// Nearest-rank percentile (p in [0, 1]) over an ascending-sorted sample
+// set. Shared by the batch stats, the service layer's /stats latency
+// digest, and the load-generator bench, so the three report one
+// definition.
+[[nodiscard]] double PercentileOfSorted(std::span<const double> sorted,
+                                        double p);
+
 class BatchEngine {
  public:
   explicit BatchEngine(BatchOptions options = {});

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/text.hpp"
+
 namespace dsf {
 
 namespace {
@@ -93,7 +95,7 @@ ImportedWorkload ParseSteinLib(std::istream& in, const std::string& origin) {
     }
   };
 
-  while (std::getline(in, raw)) {
+  while (ReadLine(in, raw)) {
     ++line;
     fields = std::istringstream(raw);
     std::string head;
@@ -243,7 +245,7 @@ ImportedWorkload ParseDimacs(std::istream& in, const std::string& origin) {
     }
   };
 
-  while (std::getline(in, raw)) {
+  while (ReadLine(in, raw)) {
     ++line;
     fields = std::istringstream(raw);
     std::string head;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/random.hpp"
+#include "common/text.hpp"
 #include "workload/generators.hpp"
 #include "workload/import.hpp"
 
@@ -132,7 +133,7 @@ WorkloadSpec ParseWorkloadSpec(std::istream& in, const std::string& origin) {
 
   std::string raw;
   int line = 0;
-  while (std::getline(in, raw)) {
+  while (ReadLine(in, raw)) {
     ++line;
     if (const auto hash = raw.find('#'); hash != std::string::npos) {
       raw.erase(hash);

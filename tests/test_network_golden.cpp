@@ -1,5 +1,5 @@
 // Golden-stats regression tests: the simulator's bit-reproducibility
-// contract (DESIGN.md §2/§7). The pinned numbers below were captured from
+// contract (DESIGN.md §2/§8). The pinned numbers below were captured from
 // the pre-refactor simulator (O(m)-allocation rounds, adjacency-scan
 // delivery, tick-everyone scheduling); the rearchitected hot loop — mirror
 // incidence, dirty-list accounting, active-set scheduling, parallel phase

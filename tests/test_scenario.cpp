@@ -44,6 +44,40 @@ TEST(ScenarioTest, ParsesGraphAndBothInstanceForms) {
   EXPECT_EQ(s.instances[1].cr.NumRequests(), 2);  // symmetric
 }
 
+TEST(ScenarioTest, AcceptsCrlfLineEndings) {
+  // Scenario text authored on Windows — or arriving over the wire from a
+  // CRLF-framing client — terminates every line with "\r\n". The shared
+  // line reader (common/text.hpp) strips the '\r' before tokenization, so
+  // the parse is identical to the LF version, including names taken from
+  // the end of a line (where the '\r' would otherwise embed itself).
+  const std::string lf =
+      "seed 7\n"
+      "graph 4 as net\n"
+      "edge 0 1 3\n"
+      "edge 1 2 1\n"
+      "edge 2 3 4\n"
+      "ic pairs\n"
+      "terminal 0 1\n"
+      "terminal 3 1\n"
+      "cr orders\n"
+      "pair 1 3\n";
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const Scenario a = ParseString(lf);
+  const Scenario b = ParseString(crlf);
+  EXPECT_EQ(b.graph.NumNodes(), 4);
+  EXPECT_EQ(b.graph.NumEdges(), 3);
+  ASSERT_EQ(b.instances.size(), 2u);
+  // Names parsed from line ends must be byte-identical, not "pairs\r".
+  EXPECT_EQ(b.instances[0].name, a.instances[0].name);
+  EXPECT_EQ(b.instances[1].name, a.instances[1].name);
+  EXPECT_EQ(b.instances[0].ic.labels, a.instances[0].ic.labels);
+  EXPECT_EQ(b.instances[1].cr.requests, a.instances[1].cr.requests);
+}
+
 TEST(ScenarioTest, RejectsMalformedInput) {
   // Each entry: (scenario text, reason it must be rejected).
   const char* bad[] = {

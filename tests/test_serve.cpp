@@ -1,0 +1,667 @@
+// The service layer (DESIGN.md §5): JSON parsing, canonical hashing, the
+// sharded LRU result cache, admission/coalescing, the wire protocol, and
+// the socket server end to end — including the concurrent-duplicate-stream
+// correctness contract (N client threads, 80% duplicates, bit-identical to
+// sequential one-shot solves, hits + misses == requests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "common/random.hpp"
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "solve/solver.hpp"
+#include "workload/spec.hpp"
+
+namespace dsf {
+namespace {
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(JsonParseTest, ParsesDocumentTree) {
+  const JsonValue v = ParseJson(
+      R"({"a":1.5,"b":"x\ny","c":[true,false,null],"d":{"e":-3}})");
+  ASSERT_TRUE(v.IsObject());
+  EXPECT_DOUBLE_EQ(v.GetNumber("a", 0.0), 1.5);
+  EXPECT_EQ(v.GetString("b", ""), "x\ny");
+  const JsonValue* c = v.Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_TRUE(c->array[2].IsNull());
+  const JsonValue* d = v.Find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->GetNumber("e", 0.0), -3.0);
+}
+
+TEST(JsonParseTest, RoundTripsThroughWriter) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("spec");
+  json.String("graph 4\nedge 0 1 3\t# quoted \"stuff\"\n");
+  json.Key("seed");
+  json.UInt(123456789);
+  json.EndObject();
+  const JsonValue v = ParseJson(os.str());
+  EXPECT_EQ(v.GetString("spec", ""),
+            "graph 4\nedge 0 1 3\t# quoted \"stuff\"\n");
+  EXPECT_DOUBLE_EQ(v.GetNumber("seed", 0.0), 123456789.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",          "[1,",       "{\"a\":}",
+      "{\"a\" 1}",  "tru",        "nul",       "\"unterminated",
+      "{\"a\":1,}", "01x",        "{} trailing",
+      "{\"a\":1,\"a\":2}",  // duplicate key
+      "\"bad \\q escape\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)ParseJson(text), std::runtime_error) << text;
+  }
+}
+
+// --- canonical hashing -------------------------------------------------------
+
+Graph TestGraph(Weight w01 = 3) {
+  return MakeGraph(4, {{0, 1, w01}, {1, 2, 1}, {2, 3, 4}, {0, 3, 2}});
+}
+
+SolveRequest IcRequest(const Graph& g, const std::string& solver = "gw-moat") {
+  SolveRequest req;
+  req.solver = solver;
+  req.graph = &g;
+  req.ic = MakeIcInstance(g.NumNodes(), {{0, 1}, {3, 1}});
+  return req;
+}
+
+TEST(CanonicalHashTest, EqualWorkEqualKey) {
+  const Graph g1 = TestGraph();
+  const Graph g2 = TestGraph();
+  const SolveRequest r1 = IcRequest(g1);
+  const SolveRequest r2 = IcRequest(g2);
+  EXPECT_EQ(CanonicalHash(HashGraph(g1), r1, 7),
+            CanonicalHash(HashGraph(g2), r2, 7));
+}
+
+TEST(CanonicalHashTest, EveryFieldSplitsTheKey) {
+  const Graph g = TestGraph();
+  const CacheKey gh = HashGraph(g);
+  const SolveRequest base = IcRequest(g);
+  const CacheKey k = CanonicalHash(gh, base, 7);
+
+  EXPECT_NE(k, CanonicalHash(HashGraph(TestGraph(5)), base, 7));  // graph
+  EXPECT_NE(k, CanonicalHash(gh, base, 8));                      // seed
+  EXPECT_NE(k, CanonicalHash(gh, IcRequest(g, "dist-det"), 7));  // solver
+  SolveRequest eps = base;
+  eps.options.epsilon = 0.25L;
+  EXPECT_NE(k, CanonicalHash(gh, eps, 7));
+  SolveRequest reps = base;
+  reps.options.repetitions = 3;
+  EXPECT_NE(k, CanonicalHash(gh, reps, 7));
+  SolveRequest noprune = base;
+  noprune.options.prune = false;
+  EXPECT_NE(k, CanonicalHash(gh, noprune, 7));
+  SolveRequest other = base;
+  other.ic = MakeIcInstance(4, {{0, 1}, {2, 1}});
+  EXPECT_NE(k, CanonicalHash(gh, other, 7));
+}
+
+TEST(CanonicalHashTest, InputFormIsPartOfTheKey) {
+  const Graph g = TestGraph();
+  const CacheKey gh = HashGraph(g);
+  SolveRequest ic = IcRequest(g);
+  SolveRequest cr;
+  cr.solver = "gw-moat";
+  cr.graph = &g;
+  cr.use_cr = true;
+  cr.cr = MakeCrInstance(4, {{0, 3}});
+  // Equivalent problems through different input forms run different
+  // pipelines (the CR form meters the distributed transform), so they must
+  // not share a cache slot.
+  EXPECT_NE(CanonicalHash(gh, ic, 7), CanonicalHash(gh, cr, 7));
+}
+
+// --- result cache ------------------------------------------------------------
+
+SolveResult FakeResult(Weight w) {
+  SolveResult r;
+  r.solver = "fake";
+  r.weight = w;
+  r.forest = {static_cast<EdgeId>(w)};
+  return r;
+}
+
+CacheKey KeyOf(std::uint64_t i) {
+  return {Mix64(i), Mix64(i + 0x1234)};
+}
+
+TEST(ResultCacheTest, HitMissAndEvictionAccounting) {
+  ResultCache cache(8, 1);  // one shard: LRU order is globally observable
+  EXPECT_FALSE(cache.Lookup(KeyOf(1)).has_value());  // miss
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    cache.Insert(KeyOf(i), FakeResult(static_cast<Weight>(i)));
+  }
+  // Touch key 1 while the cache is full: the next eviction must fall on
+  // key 2 (the least recently used), not on the refreshed key 1.
+  const auto hit = cache.Lookup(KeyOf(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->weight, 1);
+  cache.Insert(KeyOf(9), FakeResult(9));
+  EXPECT_FALSE(cache.Lookup(KeyOf(2)).has_value());  // miss: evicted
+  EXPECT_TRUE(cache.Lookup(KeyOf(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(KeyOf(9)).has_value());
+
+  const CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.inserts, 9u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.entries, 8u);
+  EXPECT_EQ(c.hits, 3u);
+  EXPECT_EQ(c.misses, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert(KeyOf(1), FakeResult(1));
+  EXPECT_FALSE(cache.Lookup(KeyOf(1)).has_value());
+  EXPECT_EQ(cache.Counters().entries, 0u);
+}
+
+TEST(ResultCacheTest, CapacityBoundWinsOverShardCount) {
+  // --cache smaller than the shard count must not round per-shard capacity
+  // up: resident entries are bounded by the configured capacity.
+  ResultCache cache(4, 8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    cache.Insert(KeyOf(i), FakeResult(static_cast<Weight>(i)));
+  }
+  EXPECT_LE(cache.Counters().entries, 4u);
+  EXPECT_EQ(cache.Counters().capacity, 4u);
+}
+
+TEST(ResultCacheTest, ShardedInsertLookupAcrossManyKeys) {
+  ResultCache cache(1024, 8);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    cache.Insert(KeyOf(i), FakeResult(static_cast<Weight>(i)));
+  }
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto hit = cache.Lookup(KeyOf(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->weight, static_cast<Weight>(i));
+  }
+}
+
+// --- admission queue ---------------------------------------------------------
+
+TEST(AdmissionTest, DuplicateInFlightKeysCoalesce) {
+  ResultCache cache(1024);
+  AdmissionOptions opts;
+  opts.threads = 1;
+  opts.batch_max = 1;  // one unit per dispatch: the tail stays queued
+  AdmissionQueue queue(&cache, opts);
+
+  // Heavy enough units (dist-det on a 256-cycle, ~ms each) that the tail
+  // of a 10-deep, one-at-a-time queue is still queued when the duplicate
+  // arrives microseconds later, even on a loaded machine.
+  constexpr int kN = 256;
+  std::vector<Edge> ring;
+  for (NodeId v = 0; v < kN; ++v) {
+    ring.push_back({v, static_cast<NodeId>((v + 1) % kN),
+                    static_cast<Weight>(v % 5 + 1)});
+  }
+  const Graph g = MakeGraph(kN, ring);
+  std::vector<SolveRequest> units;
+  std::vector<CacheKey> keys;
+  std::vector<std::uint64_t> seeds;
+  const CacheKey gh = HashGraph(g);
+  for (int i = 0; i < 10; ++i) {
+    SolveRequest req;
+    req.solver = "dist-det";
+    req.graph = &g;
+    req.ic = MakeIcInstance(
+        kN, {{0, 1}, {static_cast<NodeId>(i % (kN - 1) + 1), 1}});
+    units.push_back(req);
+    seeds.push_back(static_cast<std::uint64_t>(i + 1));
+    keys.push_back(CanonicalHash(gh, req, seeds.back()));
+  }
+  auto first = queue.SubmitAll(units, keys, seeds);
+  ASSERT_EQ(first.tickets.size(), 10u);
+  EXPECT_EQ(first.coalesced, 0u);
+
+  // Re-submitting the tail unit while it is still queued must join the
+  // existing ticket, not schedule a second computation.
+  auto second = queue.SubmitAll({&units[9], 1}, {&keys[9], 1}, {&seeds[9], 1});
+  ASSERT_EQ(second.tickets.size(), 1u);
+  EXPECT_EQ(second.coalesced, 1u);
+  EXPECT_EQ(second.tickets[0].get(), first.tickets[9].get());
+
+  const SolveResult& a = first.tickets[9]->Wait();
+  const SolveResult& b = second.tickets[0]->Wait();
+  EXPECT_TRUE(first.tickets[9]->Error().empty());
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.weight, 0);
+  queue.Drain();
+  EXPECT_EQ(queue.Counters().admitted, 10u);
+  EXPECT_EQ(queue.Counters().coalesced, 1u);
+  EXPECT_EQ(queue.Counters().computed, 10u);
+}
+
+TEST(AdmissionTest, DepthBoundRejectsAtomically) {
+  ResultCache cache(1024);
+  AdmissionOptions opts;
+  opts.max_pending = 1;
+  AdmissionQueue queue(&cache, opts);
+
+  const Graph g = TestGraph();
+  const CacheKey gh = HashGraph(g);
+  std::vector<SolveRequest> units(2, IcRequest(g));
+  units[1].ic = MakeIcInstance(4, {{1, 1}, {2, 1}});
+  std::vector<std::uint64_t> seeds = {1, 2};
+  std::vector<CacheKey> keys = {CanonicalHash(gh, units[0], 1),
+                                CanonicalHash(gh, units[1], 2)};
+  auto rejected = queue.SubmitAll(units, keys, seeds);
+  EXPECT_TRUE(rejected.tickets.empty());
+  EXPECT_EQ(queue.Counters().rejected, 1u);
+  EXPECT_EQ(queue.Counters().admitted, 0u);
+
+  // A single unit fits the bound.
+  auto ok = queue.SubmitAll({&units[0], 1}, {&keys[0], 1}, {&seeds[0], 1});
+  ASSERT_EQ(ok.tickets.size(), 1u);
+  ok.tickets[0]->Wait();
+  EXPECT_TRUE(ok.tickets[0]->Error().empty());
+}
+
+TEST(AdmissionTest, PipelineErrorsSurfaceOnTheTicket) {
+  ResultCache cache(1024);
+  AdmissionOptions opts;
+  opts.batch_max = 1;
+  AdmissionQueue queue(&cache, opts);
+
+  const Graph disconnected = MakeGraph(4, {{0, 1, 1}, {2, 3, 1}});
+  SolveRequest req;
+  req.solver = "dist-det";
+  req.graph = &disconnected;
+  req.ic = MakeIcInstance(4, {{0, 1}, {3, 1}});
+  const CacheKey key = CanonicalHash(HashGraph(disconnected), req, 1);
+  const std::uint64_t seed = 1;
+  auto adm = queue.SubmitAll({&req, 1}, {&key, 1}, {&seed, 1});
+  ASSERT_EQ(adm.tickets.size(), 1u);
+  adm.tickets[0]->Wait();
+  EXPECT_FALSE(adm.tickets[0]->Error().empty());
+  EXPECT_FALSE(cache.Lookup(key).has_value());  // errors are never cached
+}
+
+// --- wire protocol (in process) ----------------------------------------------
+
+constexpr char kWireSpec[] =
+    "seed 5\n"
+    "graph 6\n"
+    "edge 0 1 2\n"
+    "edge 1 2 3\n"
+    "edge 2 3 1\n"
+    "edge 3 4 4\n"
+    "edge 4 5 1\n"
+    "edge 0 5 2\n"
+    "ic ends\n"
+    "terminal 0 1\n"
+    "terminal 3 1\n"
+    "cr ring\n"
+    "pair 1 4\n";
+
+std::string EscapeForJson(const std::string& text) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.String(text);
+  return os.str();
+}
+
+// What a one-shot CLI run would produce for (spec, solvers): the expected
+// (weight, edges) per matrix cell, with the CLI's exact seed discipline.
+struct ExpectedCell {
+  Weight weight;
+  std::vector<EdgeId> edges;
+};
+std::vector<ExpectedCell> OneShot(const std::string& spec_text,
+                                  const std::vector<std::string>& solvers) {
+  std::istringstream in(spec_text);
+  WorkloadSpec spec = ParseWorkloadSpec(in, "<test>");
+  const Workload workload = ExpandWorkload(spec);
+  SolveOptions base;
+  base.validate = true;
+  const RequestMatrix matrix = BuildRequests(workload, solvers, base);
+  std::vector<ExpectedCell> out;
+  for (std::size_t i = 0; i < matrix.requests.size(); ++i) {
+    const SolveResult r = Solve(
+        matrix.requests[i], DeriveSeed(spec.seed, static_cast<std::uint64_t>(i)), 1);
+    out.push_back({r.weight, r.forest});
+  }
+  return out;
+}
+
+std::vector<ExpectedCell> CellsOf(const JsonValue& response) {
+  std::vector<ExpectedCell> out;
+  const JsonValue* results = response.Find("results");
+  if (results == nullptr) return out;
+  for (const JsonValue& r : results->array) {
+    ExpectedCell cell;
+    cell.weight = static_cast<Weight>(r.GetNumber("weight", -1));
+    for (const JsonValue& e : r.Find("edges")->array) {
+      cell.edges.push_back(static_cast<EdgeId>(e.number));
+    }
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+struct InProcessService {
+  ResultCache cache{4096};
+  AdmissionQueue queue{&cache, {}};
+  ServeContext ctx{&cache, &queue};
+};
+
+TEST(ProtocolTest, SolveMatchesOneShotAndCaches) {
+  InProcessService svc;
+  const std::vector<std::string> solvers = {"gw-moat", "dist-det"};
+  std::ostringstream req;
+  req << R"({"op":"solve","id":"t1","spec":)" << EscapeForJson(kWireSpec)
+      << R"(,"solvers":["gw-moat","dist-det"]})";
+
+  const JsonValue cold = ParseJson(HandleRequestLine(svc.ctx, req.str()));
+  ASSERT_TRUE(cold.GetBool("ok", false)) << cold.GetString("error", "");
+  EXPECT_EQ(cold.GetString("id", ""), "t1");
+  EXPECT_DOUBLE_EQ(cold.GetNumber("hits", -1), 0.0);
+  EXPECT_DOUBLE_EQ(cold.GetNumber("misses", -1), 4.0);
+
+  const auto expected = OneShot(kWireSpec, solvers);
+  const auto cold_cells = CellsOf(cold);
+  ASSERT_EQ(cold_cells.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cold_cells[i].weight, expected[i].weight) << i;
+    EXPECT_EQ(cold_cells[i].edges, expected[i].edges) << i;
+  }
+
+  // Warm pass: all hits, bit-identical payload, per-result cached flags.
+  const JsonValue warm = ParseJson(HandleRequestLine(svc.ctx, req.str()));
+  ASSERT_TRUE(warm.GetBool("ok", false));
+  EXPECT_DOUBLE_EQ(warm.GetNumber("hits", -1), 4.0);
+  EXPECT_DOUBLE_EQ(warm.GetNumber("misses", -1), 0.0);
+  const auto warm_cells = CellsOf(warm);
+  ASSERT_EQ(warm_cells.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(warm_cells[i].weight, expected[i].weight) << i;
+    EXPECT_EQ(warm_cells[i].edges, expected[i].edges) << i;
+  }
+  for (const JsonValue& r : warm.Find("results")->array) {
+    EXPECT_TRUE(r.GetBool("cached", false));
+  }
+}
+
+TEST(ProtocolTest, SeedSplitsTheCacheAndChangesNothingElse) {
+  InProcessService svc;
+  const auto line = [&](int seed) {
+    std::ostringstream req;
+    req << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+        << R"(,"solvers":["gw-moat"],"seed":)" << seed << "}";
+    return req.str();
+  };
+  const JsonValue a = ParseJson(HandleRequestLine(svc.ctx, line(11)));
+  const JsonValue b = ParseJson(HandleRequestLine(svc.ctx, line(12)));
+  ASSERT_TRUE(a.GetBool("ok", false));
+  ASSERT_TRUE(b.GetBool("ok", false));
+  // Different seeds must never share cache entries, even on a
+  // deterministic solver where the payloads coincide.
+  EXPECT_DOUBLE_EQ(b.GetNumber("hits", -1), 0.0);
+}
+
+TEST(ProtocolTest, SeedsAbove2To53StayExact) {
+  // Seeds are part of the cache key and the bit-identity contract; a
+  // double-typed JSON path would collapse 2^53 and 2^53+1 onto one key and
+  // serve the wrong cached result. The parser keeps the raw literal.
+  InProcessService svc;
+  const auto line = [&](const char* seed) {
+    std::ostringstream req;
+    req << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+        << R"(,"solvers":["gw-moat"],"seed":)" << seed << "}";
+    return req.str();
+  };
+  const std::string raw_a = HandleRequestLine(svc.ctx, line("9007199254740992"));
+  const std::string raw_b = HandleRequestLine(svc.ctx, line("9007199254740993"));
+  const JsonValue a = ParseJson(raw_a);
+  const JsonValue b = ParseJson(raw_b);
+  ASSERT_TRUE(a.GetBool("ok", false)) << a.GetString("error", "");
+  ASSERT_TRUE(b.GetBool("ok", false)) << b.GetString("error", "");
+  EXPECT_DOUBLE_EQ(b.GetNumber("hits", -1), 0.0);  // distinct cache keys
+  // The exact seed echoes back, byte for byte.
+  EXPECT_NE(raw_a.find("\"seed\":9007199254740992"), std::string::npos);
+  EXPECT_NE(raw_b.find("\"seed\":9007199254740993"), std::string::npos);
+  // The whole uint64 range is accepted, exactly like the CLI's --seed.
+  const std::string raw_max =
+      HandleRequestLine(svc.ctx, line("18446744073709551615"));
+  ASSERT_TRUE(ParseJson(raw_max).GetBool("ok", false)) << raw_max;
+  EXPECT_NE(raw_max.find("\"seed\":18446744073709551615"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, GeneratorSpecForm) {
+  InProcessService svc;
+  const JsonValue v = ParseJson(HandleRequestLine(
+      svc.ctx,
+      R"({"op":"solve","generate":"grid rows=3 cols=3",)"
+      R"("instance":"random-ic k=2 tpc=2","solvers":["gw-moat"],"seed":9})"));
+  ASSERT_TRUE(v.GetBool("ok", false)) << v.GetString("error", "");
+  const JsonValue* results = v.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 1u);
+  EXPECT_TRUE(results->array[0].GetBool("feasible", false));
+  EXPECT_EQ(results->array[0].GetString("instance", ""), "sampled");
+}
+
+TEST(ProtocolTest, PingStatsAndErrors) {
+  InProcessService svc;
+  EXPECT_TRUE(ParseJson(HandleRequestLine(svc.ctx, R"({"op":"ping"})"))
+                  .GetBool("pong", false));
+
+  const JsonValue stats =
+      ParseJson(HandleRequestLine(svc.ctx, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.GetBool("ok", false));
+  ASSERT_NE(stats.Find("cache"), nullptr);
+  ASSERT_NE(stats.Find("queue"), nullptr);
+  EXPECT_DOUBLE_EQ(stats.Find("cache")->GetNumber("capacity", 0), 4096.0);
+
+  const char* bad[] = {
+      "not json at all",
+      R"([1,2,3])",                                  // not an object
+      R"({"op":"frobnicate"})",                      // unknown op
+      R"({"id":"x"})",                               // missing op
+      R"({"op":"solve"})",                           // no spec
+      R"({"op":"solve","spec":"graph 2\nedge 0 1 1\nic a\nterminal 0 1\nterminal 1 1\n","generate":"grid"})",
+      R"({"op":"solve","spec":"import stp tiny.stp\n"})",      // wire import
+      R"({"op":"solve","spec":"bogus directive\n"})",          // parse error
+      R"({"op":"solve","spec":"graph 2\nedge 0 1 1\nic a\nterminal 0 1\nterminal 1 1\n","solvers":["nope"]})",
+      R"({"op":"solve","spec":"graph 2\nedge 0 1 1\nic a\nterminal 0 1\nterminal 1 1\n","seed":0})",
+      R"({"op":"solve","spec":"graph 2\nedge 0 1 1\nic a\nterminal 0 1\nterminal 1 1\n","epsilon":-1})",
+  };
+  for (const char* line : bad) {
+    const JsonValue v = ParseJson(HandleRequestLine(svc.ctx, line));
+    EXPECT_FALSE(v.GetBool("ok", true)) << line;
+    EXPECT_FALSE(v.GetString("error", "").empty()) << line;
+  }
+
+  // A disconnected topology is rejected at admission, not mid-batch.
+  const JsonValue disc = ParseJson(HandleRequestLine(
+      svc.ctx,
+      R"({"op":"solve","spec":"graph 4\nedge 0 1 1\nedge 2 3 1\nic a\nterminal 0 1\nterminal 1 1\n"})"));
+  EXPECT_FALSE(disc.GetBool("ok", true));
+  EXPECT_NE(disc.GetString("error", "").find("disconnected"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, OverloadAnswersInsteadOfQueueing) {
+  ResultCache cache(4096);
+  AdmissionOptions opts;
+  opts.max_pending = 1;
+  AdmissionQueue queue(&cache, opts);
+  ServeContext ctx{&cache, &queue};
+  // Two units (one instance x two solvers) against a bound of one.
+  std::ostringstream req;
+  req << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+      << R"(,"solvers":["gw-moat","mst-prune"]})";
+  const JsonValue v = ParseJson(HandleRequestLine(ctx, req.str()));
+  EXPECT_FALSE(v.GetBool("ok", true));
+  EXPECT_EQ(v.GetString("error", ""), "overloaded");
+}
+
+// --- socket server -----------------------------------------------------------
+
+TEST(ServerTest, EndToEndOverSockets) {
+  ServeOptions options;
+  options.threads = 2;
+  Server server(options);
+  server.Start();
+  ASSERT_GT(server.Port(), 0);
+
+  {
+    ClientConnection conn("127.0.0.1", server.Port());
+    EXPECT_TRUE(conn.RoundTrip(R"({"op":"ping"})").GetBool("pong", false));
+
+    std::ostringstream req;
+    req << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+        << R"(,"solvers":["gw-moat","dist-det"]})";
+    const JsonValue solve = conn.RoundTrip(req.str());
+    ASSERT_TRUE(solve.GetBool("ok", false)) << solve.GetString("error", "");
+    const auto expected = OneShot(kWireSpec, {"gw-moat", "dist-det"});
+    const auto cells = CellsOf(solve);
+    ASSERT_EQ(cells.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(cells[i].weight, expected[i].weight);
+      EXPECT_EQ(cells[i].edges, expected[i].edges);
+    }
+
+    // CRLF framing from the client side must parse identically.
+    conn.SendLine(req.str() + "\r");
+    std::string response;
+    ASSERT_TRUE(conn.RecvLine(response));
+    EXPECT_TRUE(ParseJson(response).GetBool("ok", false));
+
+    const JsonValue stats = conn.RoundTrip(R"({"op":"stats"})");
+    EXPECT_DOUBLE_EQ(stats.Find("cache")->GetNumber("hits", -1), 4.0);
+    EXPECT_DOUBLE_EQ(stats.Find("cache")->GetNumber("misses", -1), 4.0);
+  }
+
+  server.RequestShutdown();
+  EXPECT_EQ(server.Wait(), 0);
+  EXPECT_THROW(ClientConnection("127.0.0.1", server.Port()),
+               std::runtime_error);
+}
+
+TEST(ServerTest, ConcurrentDuplicateStreamIsBitIdenticalToOneShot) {
+  // The ISSUE's correctness contract: N client threads submitting an
+  // 80%-duplicate stream get bit-identical solutions to sequential
+  // one-shot solves, and cache hits + misses sum to the requests.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  constexpr int kHotSpecs = 4;    // the duplicated 80%
+  const std::vector<std::string> solvers = {"gw-moat"};
+
+  // Distinct specs differ in an edge weight; every spec is one unit
+  // (1 case x 1 instance x 1 solver).
+  const auto spec_text = [](int variant) {
+    std::ostringstream os;
+    os << "seed " << (variant + 1) << "\n"
+       << "graph 6\n"
+       << "edge 0 1 " << (variant % 9 + 1) << "\n"
+       << "edge 1 2 3\nedge 2 3 1\nedge 3 4 4\nedge 4 5 1\nedge 0 5 2\n"
+       << "ic ends\nterminal 0 1\nterminal 3 1\n";
+    return os.str();
+  };
+
+  ServeOptions options;
+  options.threads = 2;
+  Server server(options);
+  server.Start();
+
+  // variant stream per client: 80% hot (shared across clients), 20% unique.
+  const auto variant_for = [&](int client, int i) {
+    if (i % 5 != 4) return i % kHotSpecs;
+    return 100 + client * kPerClient + i;  // unique cold spec
+  };
+
+  std::vector<std::map<int, ExpectedCell>> got(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ClientConnection conn("127.0.0.1", server.Port());
+        for (int i = 0; i < kPerClient; ++i) {
+          const int variant = variant_for(c, i);
+          std::ostringstream req;
+          req << R"({"op":"solve","spec":)" << EscapeForJson(spec_text(variant))
+              << R"(,"solvers":["gw-moat"]})";
+          const JsonValue v = conn.RoundTrip(req.str());
+          if (!v.GetBool("ok", false)) {
+            ++failures;
+            continue;
+          }
+          const auto cells = CellsOf(v);
+          if (cells.size() != 1) {
+            ++failures;
+            continue;
+          }
+          got[static_cast<std::size_t>(c)][variant] = cells[0];
+        }
+      } catch (const std::exception&) {
+        failures += kPerClient;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Bit-identical to sequential one-shot solves, for every variant any
+  // client saw (hot variants were computed once and served from cache /
+  // coalesced in-flight everywhere else).
+  std::map<int, ExpectedCell> expected;
+  for (int c = 0; c < kClients; ++c) {
+    for (const auto& [variant, cell] : got[static_cast<std::size_t>(c)]) {
+      const auto it = expected.find(variant);
+      if (it == expected.end()) {
+        const auto one_shot = OneShot(spec_text(variant), solvers);
+        ASSERT_EQ(one_shot.size(), 1u);
+        expected.emplace(variant, one_shot[0]);
+      }
+      const ExpectedCell& want = expected.at(variant);
+      EXPECT_EQ(cell.weight, want.weight) << "variant " << variant;
+      EXPECT_EQ(cell.edges, want.edges) << "variant " << variant;
+    }
+  }
+
+  // Counter contract: every unit was classified as exactly one cache hit
+  // or cache miss.
+  const CacheCounters cache = server.Cache().Counters();
+  EXPECT_EQ(cache.hits + cache.misses,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  // Misses = scheduled computations = distinct keys actually computed; with
+  // coalescing they can undercut the distinct-variant count, never exceed
+  // the admitted total.
+  const QueueCounters queue = server.Queue().Counters();
+  EXPECT_EQ(cache.misses, queue.admitted + queue.coalesced);
+  EXPECT_GT(cache.hits, 0u);
+
+  server.RequestShutdown();
+  EXPECT_EQ(server.Wait(), 0);
+}
+
+}  // namespace
+}  // namespace dsf

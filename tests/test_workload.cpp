@@ -466,6 +466,22 @@ TEST(ImportTest, SteinLibGraphAndTerminals) {
   EXPECT_TRUE(w.terminals.IsTerminal(3));
 }
 
+TEST(ImportTest, SteinLibAcceptsCrlfLineEndings) {
+  // Published SteinLib archives unpack with Windows line endings on some
+  // mirrors; the shared line reader strips the '\r' before tokenization.
+  std::string crlf;
+  for (const char c : std::string(kTinyStp)) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::istringstream in(crlf);
+  const ImportedWorkload w = ParseSteinLib(in, "<stp>");
+  EXPECT_EQ(w.graph.NumNodes(), 4);
+  EXPECT_EQ(w.graph.NumEdges(), 4);
+  ASSERT_TRUE(w.has_terminals);
+  EXPECT_EQ(w.terminals.NumTerminals(), 2);
+}
+
 TEST(ImportTest, SteinLibRejectsMalformed) {
   const char* bad[] = {
       "",                                                    // empty
