@@ -9,13 +9,18 @@
 # Defaults: build_dir = build, out_dir = build_dir. Writes
 # BENCH_simulator.json, BENCH_batch.json, BENCH_serve.json, and
 # BENCH_smoke.json into out_dir.
+#
+# Fails loudly: a missing binary, a crashing benchmark, or a run that
+# produces empty/truncated JSON all abort with a nonzero exit and a
+# message naming the culprit — a silent half-finished BENCH_*.json would
+# otherwise poison cross-commit comparisons.
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
 
-for bin in bench_simulator bench_batch_throughput bench_serve; do
+for bin in bench_simulator bench_batch_throughput bench_serve bench_rounds_vs_n; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need Google Benchmark;" \
          "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -23,34 +28,45 @@ for bin in bench_simulator bench_batch_throughput bench_serve; do
   fi
 done
 
-"$BUILD_DIR/bench_simulator" \
-  --benchmark_format=json \
-  --benchmark_out="$OUT_DIR/BENCH_simulator.json" \
-  --benchmark_out_format=json
+# run_bench <binary> <out_json> [extra benchmark flags...]
+# Runs one benchmark binary, then verifies the JSON it wrote actually
+# contains a "benchmarks" array (Google Benchmark writes the output file
+# incrementally, so a crash mid-run leaves a truncated file behind).
+run_bench() {
+  bench_bin="$1"
+  out_json="$2"
+  shift 2
+  echo "running $bench_bin -> $out_json" >&2
+  if ! "$BUILD_DIR/$bench_bin" "$@" \
+      --benchmark_format=json \
+      --benchmark_out="$out_json" \
+      --benchmark_out_format=json; then
+    echo "error: $bench_bin exited nonzero; $out_json is not trustworthy" >&2
+    exit 1
+  fi
+  if ! grep -q '"benchmarks"' "$out_json" 2>/dev/null; then
+    echo "error: $bench_bin wrote no benchmark results to $out_json" \
+         "(empty or truncated JSON)" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_simulator "$OUT_DIR/BENCH_simulator.json"
 
 # Batch-engine throughput at 1/4/8 executors: instances/sec and p95 latency
 # of the unified solver pipeline (DESIGN.md §3).
-"$BUILD_DIR/bench_batch_throughput" \
-  --benchmark_format=json \
-  --benchmark_out="$OUT_DIR/BENCH_batch.json" \
-  --benchmark_out_format=json
+run_bench bench_batch_throughput "$OUT_DIR/BENCH_batch.json"
 
 # Service-layer load generation (closed-loop clients over sockets against
 # an in-process server): hit/miss latency separation and the >= 10x
 # cache-hit speedup acceptance ratio (DESIGN.md §5).
-"$BUILD_DIR/bench_serve" \
-  --benchmark_format=json \
-  --benchmark_out="$OUT_DIR/BENCH_serve.json" \
-  --benchmark_out_format=json
+run_bench bench_serve "$OUT_DIR/BENCH_serve.json"
 
 # One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
 # the protocol path still runs under the benchmark harness.
 # (the registered name carries an /iterations:1 suffix, so no $-anchor)
-"$BUILD_DIR/bench_rounds_vs_n" \
-  --benchmark_filter='BM_DetRoundsVsN/64' \
-  --benchmark_format=json \
-  --benchmark_out="$OUT_DIR/BENCH_smoke.json" \
-  --benchmark_out_format=json
+run_bench bench_rounds_vs_n "$OUT_DIR/BENCH_smoke.json" \
+  --benchmark_filter='BM_DetRoundsVsN/64'
 
 echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
      "$OUT_DIR/BENCH_serve.json, and $OUT_DIR/BENCH_smoke.json"

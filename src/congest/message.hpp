@@ -31,6 +31,19 @@ class FieldList {
   static constexpr std::size_t kMaxFields = 8;
 
   FieldList() = default;
+  // Copies move only the live prefix: messages usually carry 2-4 of the 8
+  // slots, and the simulator's arena copies millions of FieldLists per
+  // second, so not touching dead bytes roughly halves the memory traffic of
+  // a delivery. Slots past size() are indeterminate by contract — every
+  // accessor is bounded by size(), and equality compares prefixes.
+  FieldList(const FieldList& o) noexcept : size_(o.size_) {
+    for (std::uint32_t i = 0; i < size_; ++i) data_[i] = o.data_[i];
+  }
+  FieldList& operator=(const FieldList& o) noexcept {
+    size_ = o.size_;
+    for (std::uint32_t i = 0; i < size_; ++i) data_[i] = o.data_[i];
+    return *this;
+  }
   FieldList(std::initializer_list<std::int64_t> f) {
     DSF_CHECK(f.size() <= kMaxFields);
     size_ = static_cast<std::uint32_t>(f.size());
@@ -54,6 +67,13 @@ class FieldList {
   void push_back(std::int64_t v) {
     DSF_CHECK(size_ < kMaxFields);
     data_[size_++] = v;
+  }
+  // Bulk overwrite from a raw run (the simulator's scatter out of its SoA
+  // field pool); bounded by capacity like every other mutator.
+  void assign(const std::int64_t* p, std::uint32_t n) {
+    DSF_CHECK(n <= kMaxFields);
+    size_ = n;
+    for (std::uint32_t i = 0; i < n; ++i) data_[i] = p[i];
   }
 
   [[nodiscard]] std::int64_t& operator[](std::size_t i) {
@@ -81,7 +101,10 @@ class FieldList {
   }
 
  private:
-  std::array<std::int64_t, kMaxFields> data_{};
+  // Deliberately not value-initialized: slots past size() are indeterminate
+  // by contract (every accessor is bounded), and zeroing 64 bytes per
+  // construction is measurable in the simulator's per-message path.
+  std::array<std::int64_t, kMaxFields> data_;
   std::uint32_t size_ = 0;
 };
 

@@ -29,6 +29,7 @@ void Graph::Finalize() {
   }
   adj_.resize(2 * edges_.size());
   mirror_.resize(2 * edges_.size());
+  slot_dir_.resize(2 * edges_.size());
   std::vector<std::size_t> cursor(adj_index_.begin(), adj_index_.end() - 1);
   for (EdgeId id = 0; id < NumEdges(); ++id) {
     const auto& e = edges_[static_cast<std::size_t>(id)];
@@ -40,6 +41,8 @@ void Graph::Finalize() {
         slot_v - adj_index_[static_cast<std::size_t>(e.v)]);
     mirror_[slot_v] = static_cast<std::int32_t>(
         slot_u - adj_index_[static_cast<std::size_t>(e.u)]);
+    slot_dir_[slot_u] = 2 * static_cast<std::uint32_t>(id);
+    slot_dir_[slot_v] = 2 * static_cast<std::uint32_t>(id) + 1;
   }
   finalized_ = true;
 }

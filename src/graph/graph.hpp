@@ -84,6 +84,32 @@ class Graph {
     return {mirror_.data() + lo, mirror_.data() + hi};
   }
 
+  // Global incidence ("slot") addressing: u's local edge `i` lives at CSR
+  // slot IncidenceBase(u) + i. The per-round message arena keys all of its
+  // per-message state off this single u32, so the simulator's delivery path
+  // never touches the Edge array.
+  [[nodiscard]] std::size_t IncidenceBase(NodeId u) const {
+    DSF_CHECK(finalized_);
+    DSF_CHECK(u >= 0 && u < n_);
+    return adj_index_[static_cast<std::size_t>(u)];
+  }
+
+  // Directed-edge index of each slot, parallel to the CSR adjacency:
+  // 2 * edge + 0 when the slot's owner is GetEdge(edge).u, else 2 * edge + 1.
+  // Gives the sender-side bandwidth-accounting index (and, via >> 1, the
+  // EdgeId) as one array read per message.
+  [[nodiscard]] std::span<const std::uint32_t> SlotDirs() const {
+    DSF_CHECK(finalized_);
+    return slot_dir_;
+  }
+
+  // Mirror of each slot as a flat array (same values MirrorLocals exposes
+  // per node): the receiver-side local index of the slot's edge.
+  [[nodiscard]] std::span<const std::int32_t> SlotMirrors() const {
+    DSF_CHECK(finalized_);
+    return mirror_;
+  }
+
   [[nodiscard]] int Degree(NodeId u) const {
     return static_cast<int>(Neighbors(u).size());
   }
@@ -115,6 +141,7 @@ class Graph {
   std::vector<std::size_t> adj_index_;
   std::vector<Incidence> adj_;
   std::vector<std::int32_t> mirror_;  // parallel to adj_: reverse local index
+  std::vector<std::uint32_t> slot_dir_;  // parallel to adj_: 2*edge + side
   bool finalized_ = false;
   mutable std::shared_ptr<const GraphParameters> params_cache_;
 };

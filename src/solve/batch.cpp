@@ -38,7 +38,7 @@ std::vector<SolveResult> BatchEngine::Run(
   const int n = static_cast<int>(requests.size());
   std::vector<SolveResult> results(requests.size());
 
-  const auto task = [&](int i) {
+  const auto task = [&](int i, int /*executor*/) {
     // The overload leaves the caller's request untouched (reusable across
     // engines/thread counts) without copying its instance data.
     const SolveRequest& req = requests[static_cast<std::size_t>(i)];
@@ -56,7 +56,7 @@ std::vector<SolveResult> BatchEngine::Run(
   if (pool_) {
     pool_->ParallelFor(n, task);
   } else {
-    for (int i = 0; i < n; ++i) task(i);
+    for (int i = 0; i < n; ++i) task(i, 0);
   }
   const auto stop = std::chrono::steady_clock::now();
 

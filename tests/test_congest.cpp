@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <utility>
+#include <vector>
+
 #include "congest/protocols.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
@@ -145,6 +149,116 @@ TEST(NetworkTest, PerNodeRngIsDeterministicAndDistinct) {
   }
   EXPECT_NE(dynamic_cast<RngProbe&>(a.ProgramAt(0)).value,
             dynamic_cast<RngProbe&>(a.ProgramAt(1)).value);
+}
+
+// --- FieldList payload edge cases through a delivery round-trip ---
+// The message arena stores payloads inline (SoA header + FieldList); these
+// pin that boundary-size, empty, and max-width payloads survive the
+// send → arena → inbox path byte for byte.
+
+// Echo rig: node 0 sends a scripted list of messages to node 1 in round 0;
+// node 1 records exactly what arrives.
+class PayloadSender : public NodeProgram {
+ public:
+  explicit PayloadSender(std::vector<Message> script)
+      : script_(std::move(script)) {}
+  void OnRound(NodeApi& api) override {
+    if (api.Round() == 0) {
+      for (auto& m : script_) api.Send(0, m);
+    }
+    done_ = true;
+  }
+  [[nodiscard]] bool Done() const override { return done_; }
+
+ private:
+  std::vector<Message> script_;
+  bool done_ = false;
+};
+
+class PayloadReceiver : public NodeProgram {
+ public:
+  void OnRound(NodeApi& api) override {
+    for (const auto& d : api.Inbox()) {
+      received.push_back(d.msg);
+      from_locals.push_back(d.from_local);
+    }
+    if (api.Round() >= 1) done_ = true;
+  }
+  [[nodiscard]] bool Done() const override { return done_; }
+  std::vector<Message> received;
+  std::vector<int> from_locals;
+
+ private:
+  bool done_ = false;
+};
+
+std::vector<Message> RoundTrip(const std::vector<Message>& script) {
+  const Graph g = MakePath(2);
+  StaticKnowledge k;
+  k.n = 2;
+  k.diameter_bound = 1;
+  k.bandwidth_bits = 1 << 14;  // roomy: these tests probe width, not budget
+  Network net(g, k, 1);
+  net.Start([&](NodeId v) -> std::unique_ptr<NodeProgram> {
+    if (v == 0) return std::make_unique<PayloadSender>(script);
+    return std::make_unique<PayloadReceiver>();
+  });
+  net.Run(5);
+  auto& rx = dynamic_cast<PayloadReceiver&>(net.ProgramAt(1));
+  for (const int fl : rx.from_locals) EXPECT_EQ(fl, 0);
+  return rx.received;
+}
+
+TEST(FieldListRoundTripTest, CapacityBoundaryPayloadSurvives) {
+  Message full{kChApp, {1, -2, 3, -4, 5, -6, 7, -8}};
+  ASSERT_EQ(full.fields.size(), FieldList::kMaxFields);
+  Message seven{kChBellman, {9, 8, 7, 6, 5, 4, 3}};
+  const auto got = RoundTrip({full, seven});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].channel, kChApp);
+  EXPECT_EQ(got[0].fields, full.fields);
+  EXPECT_EQ(got[1].channel, kChBellman);
+  EXPECT_EQ(got[1].fields, seven.fields);
+  EXPECT_EQ(got[0].BitSize(), full.BitSize());
+}
+
+TEST(FieldListRoundTripTest, EmptyMessageSurvives) {
+  Message empty{kChQuiesce, {}};
+  const auto got = RoundTrip({empty});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].channel, kChQuiesce);
+  EXPECT_TRUE(got[0].fields.empty());
+  EXPECT_EQ(got[0].fields.size(), 0u);
+  EXPECT_EQ(got[0].BitSize(), 4u);  // channel tag only
+}
+
+TEST(FieldListRoundTripTest, MaxWidthFieldsSurviveByteForByte) {
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  Message extreme{kChExchange, {lo, hi, lo + 1, hi - 1, 0, -1, 1, lo}};
+  const auto got = RoundTrip({extreme});
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].fields.size(), FieldList::kMaxFields);
+  for (std::size_t i = 0; i < FieldList::kMaxFields; ++i) {
+    EXPECT_EQ(got[0].fields[i], extreme.fields[i]) << "field " << i;
+  }
+  // Byte-for-byte: the zigzag width estimate agrees, so no bit was bent.
+  EXPECT_EQ(got[0].BitSize(), extreme.BitSize());
+}
+
+TEST(FieldListRoundTripTest, MixedScriptKeepsOrderAndValues) {
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  std::vector<Message> script;
+  script.push_back(Message{kChApp, {}});
+  script.push_back(Message{kChApp, {42}});
+  script.push_back(Message{kChToken, {-hi, hi, 0}});
+  script.push_back(Message{kChFilter, {1, 2, 3, 4, 5, 6, 7, 8}});
+  const auto got = RoundTrip(script);
+  ASSERT_EQ(got.size(), script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(got[i].channel, script[i].channel) << "msg " << i;
+    EXPECT_EQ(got[i].fields, script[i].fields) << "msg " << i;
+  }
 }
 
 // --- BFS tree / TreeProgramBase ---

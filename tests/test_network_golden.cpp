@@ -8,8 +8,11 @@
 // is a correctness bug, not a tuning artifact.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <utility>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/random.hpp"
 #include "congest/network.hpp"
 #include "dist/det_moat.hpp"
@@ -166,6 +169,152 @@ TEST(NetworkGoldenTest, ChurnProgramAgreesAcrossSchedulers) {
   }
   EXPECT_GT(stats[0].messages, 0);
   EXPECT_FALSE(marked[0].empty());
+}
+
+// Arena-delivery golden: a program that hammers exactly the surfaces the
+// per-round message arena owns — several messages per edge per round across
+// application and scaffolding channels (the latter exempt from app-activity
+// tracking), payload widths from empty to the FieldList capacity, extreme
+// field values, and mark/unmark churn — while folding every delivery, in
+// inbox order, into a running checksum. The pinned RunStats and checksum
+// were captured from the pre-arena simulator (per-node inbox vectors,
+// recycled outboxes); the SoA arena with prefix-sum receiver offsets must
+// reproduce them bit for bit under all three schedulers: any change to
+// delivery order, payload bytes, accounting, or activity tracking moves the
+// checksum.
+class ArenaStressProgram : public NodeProgram {
+ public:
+  explicit ArenaStressProgram(NodeId id) : id_(id) {}
+
+  void OnRound(NodeApi& api) override {
+    for (const auto& d : api.Inbox()) {
+      sum_ = Mix64(sum_ ^ static_cast<std::uint64_t>(d.from_local));
+      sum_ = Mix64(sum_ ^ static_cast<std::uint64_t>(d.from_node));
+      sum_ = Mix64(sum_ ^ static_cast<std::uint64_t>(d.msg.channel));
+      for (const std::int64_t f : d.msg.fields) {
+        sum_ = Mix64(sum_ ^ static_cast<std::uint64_t>(f));
+      }
+      if (d.msg.channel == kChApp && !d.msg.fields.empty() &&
+          d.msg.fields[0] % 3 == 0) {
+        api.MarkEdge(d.from_local);
+      }
+      if (d.msg.channel == kChToken && d.msg.fields[0] % 4 == 0) {
+        api.UnmarkEdge(d.from_local);
+      }
+    }
+    sum_ = Mix64(sum_ ^ static_cast<std::uint64_t>(api.LastAppActivity()));
+    if (api.Round() >= 10) {
+      done_ = true;
+      return;
+    }
+    const int deg = api.Degree();
+    for (int i = 0; i < deg; ++i) {
+      const std::int64_t r = api.Round();
+      // Empty payload on a scaffolding channel (no app activity).
+      if ((id_ + r) % 3 == 0) api.Send(i, Message{kChQuiesce, {}});
+      // Full-width payload with extreme values on an app channel.
+      if ((id_ + i) % 2 == 0) {
+        api.Send(i, Message{kChApp,
+                            {std::numeric_limits<std::int64_t>::min(),
+                             std::numeric_limits<std::int64_t>::max(), id_, r,
+                             -r, id_ * 3, 0, -1}});
+      }
+      // Mid-width payloads on two more channels, same edge, same round.
+      api.Send(i, Message{kChApp, {id_ + r, i}});
+      if (r % 4 == 1) api.Send(i, Message{kChToken, {id_ - 2 * r}});
+      if (r % 5 == 2) api.Send(i, Message{kChCtrl, {i, id_, r, 7}});
+    }
+  }
+  [[nodiscard]] bool Done() const override { return done_; }
+
+  std::uint64_t sum_ = 0;
+
+ private:
+  NodeId id_;
+  bool done_ = false;
+};
+
+TEST(NetworkGoldenTest, ArenaDeliveryPinnedUnderAllSchedulers) {
+  SplitMix64 rng(31);
+  const Graph g = MakeConnectedRandom(48, 0.14, 1, 21, rng);
+  ASSERT_EQ(g.NumEdges(), 200);
+  StaticKnowledge known;
+  known.n = g.NumNodes();
+  known.diameter_bound = 8;
+  known.bandwidth_bits = 1 << 12;  // roomy: several wide messages per edge
+
+  for (const auto& net_opts : kAllConfigs) {
+    Network net(g, known, /*seed=*/5, net_opts);
+    net.Start([](NodeId v) { return std::make_unique<ArenaStressProgram>(v); });
+    const auto stats = net.Run(100);
+    SCOPED_TRACE(testing::Message() << "active_set=" << net_opts.active_set
+                                    << " threads=" << net_opts.threads);
+    ExpectStats(stats, /*rounds=*/11, /*messages=*/9317,
+                /*total_bits=*/419806, /*max_bits=*/216, /*charged=*/0,
+                /*phases=*/0);
+    std::uint64_t combined = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      combined = Mix64(
+          combined ^
+          dynamic_cast<ArenaStressProgram&>(net.ProgramAt(v)).sum_);
+    }
+    EXPECT_EQ(combined, 2579996461171503996ULL);
+    const auto marked = net.MarkedEdges();
+    EXPECT_EQ(marked.size(), 137u);
+    std::uint64_t marked_sum = 0;
+    for (const EdgeId e : marked) {
+      marked_sum = Mix64(marked_sum ^ static_cast<std::uint64_t>(e));
+    }
+    EXPECT_EQ(marked_sum, 10107931410210139188ULL);
+  }
+}
+
+// Inbox ordering is part of the reproducibility contract the arena's
+// counting-sort scatter must preserve: deliveries arrive grouped by sender
+// in ascending node order, and multiple sends from one sender (same round)
+// stay in send order.
+TEST(NetworkGoldenTest, InboxOrderedBySenderThenSendOrder) {
+  class ToCenter : public NodeProgram {
+   public:
+    explicit ToCenter(NodeId id) : id_(id) {}
+    void OnRound(NodeApi& api) override {
+      if (api.Round() == 0 && id_ != 0) {
+        // Leaves: local edge 0 points at the star center.
+        api.Send(0, Message{kChApp, {id_, 100}});
+        api.Send(0, Message{kChApp, {id_, 200}});
+      }
+      if (api.Round() == 1 && id_ == 0) {
+        for (const auto& d : api.Inbox()) {
+          order.push_back({d.msg.fields[0], d.msg.fields[1]});
+          EXPECT_EQ(d.from_node, static_cast<NodeId>(d.msg.fields[0]));
+        }
+      }
+      done_ = true;
+    }
+    [[nodiscard]] bool Done() const override { return done_; }
+    std::vector<std::pair<std::int64_t, std::int64_t>> order;
+
+   private:
+    NodeId id_;
+    bool done_ = false;
+  };
+
+  const Graph g = MakeStar(6);  // center 0, leaves 1..5
+  StaticKnowledge known;
+  known.n = g.NumNodes();
+  known.diameter_bound = 2;
+  for (const auto& net_opts : kAllConfigs) {
+    Network net(g, known, /*seed=*/3, net_opts);
+    net.Start([](NodeId v) { return std::make_unique<ToCenter>(v); });
+    net.Run(10);
+    const auto& center = dynamic_cast<ToCenter&>(net.ProgramAt(0));
+    std::vector<std::pair<std::int64_t, std::int64_t>> want;
+    for (std::int64_t v = 1; v <= 5; ++v) {
+      want.push_back({v, 100});
+      want.push_back({v, 200});
+    }
+    EXPECT_EQ(center.order, want);
+  }
 }
 
 // The default-bandwidth computation must survive n near the int limit (it
