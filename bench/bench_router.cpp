@@ -1,0 +1,264 @@
+// Shard-router load generator (DESIGN.md §5): closed-loop clients against
+// an in-process `Router` fronting 1/2/4 in-process `Server` backends over
+// real sockets, plus a failover series that kills one of three shards
+// mid-load.
+//
+// BM_RouterScaling measures end-to-end throughput as backends are added:
+// each backend runs a single executor, so with cold (distinct) requests the
+// solve work is embarrassingly parallel across shards and requests_per_sec
+// should scale until the machine runs out of cores. (On a 1-core container
+// the series is flat — the CI runners have 4 vCPUs.) The duplicate share
+// of the stream exercises the router-local hot cache instead.
+//
+// BM_RouterFailover drains one of three backends once half the load has
+// completed. The router's in-band failure detection plus ring failover
+// must absorb the death: the errors counter asserts zero failed requests,
+// and post_kill_p95_ms records the failover latency tail (retry + backoff
+// + re-route) relative to the undisturbed p95.
+//
+// `bench/run_benchmarks.sh` records this series as BENCH_router.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/json.hpp"
+#include "serve/client.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "solve/batch.hpp"
+
+namespace dsf {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 30;
+constexpr int kHotSpecs = 4;
+
+// One unit of solver work per request (the bench_serve shape): a generated
+// grid carrying one sampled instance, heavy enough that recomputing dwarfs
+// the routing hop.
+std::string RequestLine(int variant) {
+  std::ostringstream spec;
+  spec << "seed " << (variant + 1) << "\n"
+       << "generate grid rows=10 cols=10 min_w=1 max_w=9 salt=" << variant
+       << "\n"
+       << "sample random-ic load k=2 tpc=2\n";
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("op");
+  json.String("solve");
+  json.Key("spec");
+  json.String(spec.str());
+  json.Key("solvers");
+  json.BeginArray();
+  json.String("dist-det");
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+struct Tier {
+  std::vector<std::unique_ptr<Server>> backends;
+  std::unique_ptr<Router> router;
+
+  explicit Tier(int backend_count, int probe_interval_ms = 0) {
+    RouterOptions opts;
+    for (int b = 0; b < backend_count; ++b) {
+      ServeOptions so;
+      so.threads = 1;
+      backends.push_back(std::make_unique<Server>(so));
+      backends.back()->Start();
+      opts.backends.push_back({"127.0.0.1", backends.back()->Port()});
+    }
+    opts.retry = {3, 5, 100};
+    opts.probe_interval_ms = probe_interval_ms;
+    router = std::make_unique<Router>(opts);
+    router->Start();
+  }
+
+  void Drain() {
+    router->RequestShutdown();
+    router->Wait();
+    for (auto& b : backends) {
+      b->RequestShutdown();
+      b->Wait();
+    }
+  }
+};
+
+struct ClientTally {
+  std::vector<double> ms;
+  std::vector<double> post_kill_ms;
+  int errors = 0;
+};
+
+// Closed-loop client: dup_percent% of requests from the shared hot set
+// (Bresenham-interleaved), the rest unique to (client, i). `completed`
+// counts globally finished requests; requests issued after `killed` is set
+// land in the post-kill latency bucket.
+ClientTally RunClientLoop(int port, int client, int dup_percent,
+                          std::atomic<int>* completed,
+                          const std::atomic<bool>* killed) {
+  ClientTally tally;
+  try {
+    ClientConnection conn("127.0.0.1", port);
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const bool hot = (i + 1) * dup_percent / 100 > i * dup_percent / 100;
+      const int variant =
+          hot ? i % kHotSpecs : 1000 + client * kRequestsPerClient + i;
+      const bool after_kill = killed != nullptr && killed->load();
+      const auto start = std::chrono::steady_clock::now();
+      const JsonValue response = conn.RoundTrip(RequestLine(variant));
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      completed->fetch_add(1);
+      if (!response.GetBool("ok", false)) {
+        ++tally.errors;
+        continue;
+      }
+      tally.ms.push_back(ms);
+      if (after_kill) tally.post_kill_ms.push_back(ms);
+    }
+  } catch (const std::exception&) {
+    ++tally.errors;
+  }
+  return tally;
+}
+
+void ReportTallies(benchmark::State& state, std::vector<ClientTally> tallies,
+                   double wall_s, int drain_rc) {
+  std::vector<double> ms;
+  std::vector<double> post_kill_ms;
+  int errors = drain_rc;
+  for (ClientTally& t : tallies) {
+    ms.insert(ms.end(), t.ms.begin(), t.ms.end());
+    post_kill_ms.insert(post_kill_ms.end(), t.post_kill_ms.begin(),
+                        t.post_kill_ms.end());
+    errors += t.errors;
+  }
+  std::sort(ms.begin(), ms.end());
+  std::sort(post_kill_ms.begin(), post_kill_ms.end());
+  state.counters["requests"] = static_cast<double>(ms.size());
+  state.counters["errors"] = errors;  // must stay 0
+  state.counters["requests_per_sec"] =
+      wall_s > 0 ? static_cast<double>(ms.size()) / wall_s : 0.0;
+  state.counters["p50_ms"] = PercentileOfSorted(ms, 0.50);
+  state.counters["p95_ms"] = PercentileOfSorted(ms, 0.95);
+  if (!post_kill_ms.empty()) {
+    state.counters["post_kill_requests"] =
+        static_cast<double>(post_kill_ms.size());
+    state.counters["post_kill_p95_ms"] = PercentileOfSorted(post_kill_ms, 0.95);
+  }
+}
+
+void BM_RouterScaling(benchmark::State& state) {
+  const int backend_count = static_cast<int>(state.range(0));
+  const int dup_percent = static_cast<int>(state.range(1));
+
+  for (auto _ : state) {
+    Tier tier(backend_count);
+    std::atomic<int> completed{0};
+    std::vector<ClientTally> tallies(kClients);
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          tallies[static_cast<std::size_t>(c)] = RunClientLoop(
+              tier.router->Port(), c, dup_percent, &completed, nullptr);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    const RouterCounters counters = tier.router->Counters();
+    tier.Drain();
+
+    ReportTallies(state, std::move(tallies), wall_s, 0);
+    state.counters["backends"] = backend_count;
+    state.counters["dup_percent"] = dup_percent;
+    state.counters["hot_hits"] = static_cast<double>(counters.hot_hits);
+    state.counters["failovers"] = static_cast<double>(counters.failovers);
+    state.counters["shed"] = static_cast<double>(counters.shed);
+  }
+}
+BENCHMARK(BM_RouterScaling)
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({4, 50})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RouterFailover(benchmark::State& state) {
+  constexpr int kBackends = 3;
+  constexpr int kKillAfter = kClients * kRequestsPerClient / 2;
+
+  for (auto _ : state) {
+    // Probes stay on so health state keeps converging after the kill.
+    Tier tier(kBackends, /*probe_interval_ms=*/100);
+    std::atomic<int> completed{0};
+    std::atomic<int> finished_clients{0};
+    std::atomic<bool> killed{false};
+    std::vector<ClientTally> tallies(kClients);
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          tallies[static_cast<std::size_t>(c)] = RunClientLoop(
+              tier.router->Port(), c, /*dup_percent=*/20, &completed, &killed);
+          ++finished_clients;
+        });
+      }
+      // Kill one shard mid-load: drain closes its listener and its open
+      // connections, so pooled router fds die and fresh connects are
+      // refused — the same failure surface as a crashed process, minus
+      // the in-flight-request loss (the chaos CI job covers that). The
+      // finished_clients escape keeps a dead client from stalling the kill.
+      while (completed.load() < kKillAfter &&
+             finished_clients.load() < kClients) {
+        std::this_thread::yield();
+      }
+      tier.backends[0]->RequestShutdown();
+      tier.backends[0]->Wait();
+      killed.store(true);
+      for (std::thread& t : threads) t.join();
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    const RouterCounters counters = tier.router->Counters();
+    const std::vector<RouterBackendStatus> backends = tier.router->Backends();
+    tier.Drain();
+
+    ReportTallies(state, std::move(tallies), wall_s, 0);
+    state.counters["backends"] = kBackends;
+    state.counters["retries"] = static_cast<double>(counters.retries);
+    state.counters["failovers"] = static_cast<double>(counters.failovers);
+    state.counters["shed"] = static_cast<double>(counters.shed);
+    state.counters["backends_up_after"] = [&] {
+      double up = 0;
+      for (const RouterBackendStatus& b : backends) up += b.up ? 1.0 : 0.0;
+      return up;
+    }();
+  }
+}
+BENCHMARK(BM_RouterFailover)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

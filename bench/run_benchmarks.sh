@@ -7,8 +7,8 @@
 #   bench/run_benchmarks.sh [build_dir] [out_dir]
 #
 # Defaults: build_dir = build, out_dir = build_dir. Writes
-# BENCH_simulator.json, BENCH_batch.json, BENCH_serve.json, and
-# BENCH_smoke.json into out_dir.
+# BENCH_simulator.json, BENCH_batch.json, BENCH_serve.json,
+# BENCH_router.json, and BENCH_smoke.json into out_dir.
 #
 # Fails loudly: a missing binary, a crashing benchmark, or a run that
 # produces empty/truncated JSON all abort with a nonzero exit and a
@@ -20,7 +20,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
 
-for bin in bench_simulator bench_batch_throughput bench_serve bench_rounds_vs_n; do
+for bin in bench_simulator bench_batch_throughput bench_serve bench_router bench_rounds_vs_n; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need Google Benchmark;" \
          "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -62,6 +62,13 @@ run_bench bench_batch_throughput "$OUT_DIR/BENCH_batch.json"
 # cache-hit speedup acceptance ratio (DESIGN.md §5).
 run_bench bench_serve "$OUT_DIR/BENCH_serve.json"
 
+# Shard-router tier (closed-loop clients against a router fronting 1/2/4
+# backends, plus the kill-one-of-three failover series): throughput
+# scaling, failover latency tail, and the errors==0 robustness contract
+# (DESIGN.md §5).
+run_bench bench_router "$OUT_DIR/BENCH_router.json" \
+  --benchmark_filter='BM_Router.*'
+
 # One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
 # the protocol path still runs under the benchmark harness.
 # (the registered name carries an /iterations:1 suffix, so no $-anchor)
@@ -69,4 +76,5 @@ run_bench bench_rounds_vs_n "$OUT_DIR/BENCH_smoke.json" \
   --benchmark_filter='BM_DetRoundsVsN/64'
 
 echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
-     "$OUT_DIR/BENCH_serve.json, and $OUT_DIR/BENCH_smoke.json"
+     "$OUT_DIR/BENCH_serve.json, $OUT_DIR/BENCH_router.json, and" \
+     "$OUT_DIR/BENCH_smoke.json"

@@ -7,19 +7,24 @@
 // and emits one JSON document with per-request results and batch
 // aggregates. Exit status is 0 iff every output was feasible.
 //
-// The `serve` and `client` subcommands front the resident service layer
-// (src/serve/, DESIGN.md §5): a persistent socket server with a canonical-
-// hash result cache, and a line-protocol client for it.
+// The `serve`, `shard-router`, and `client` subcommands front the resident
+// service layer (src/serve/, DESIGN.md §5): a persistent socket server with
+// a canonical-hash result cache, a fault-tolerant router spreading requests
+// over several such servers, and a line-protocol client for both.
 //
 //   dsf --scenario FILE [--solvers all|name,name,...] [--seed N]
 //       [--threads N] [--epsilon X] [--repetitions N] [--reference]
 //       [--no-prune] [--json FILE]
 //   dsf serve [--port N] [--host A] [--threads N] [--cache N]
-//       [--batch-max N] [--max-pending N]
+//       [--batch-max N] [--max-pending N] [--send-timeout-ms N]
+//       [--recv-timeout-ms N] [--fault SPEC]
+//   dsf shard-router --backend HOST:PORT [--backend HOST:PORT ...]
+//       [--port N] [--host A] [--retries N] [--backoff-ms N]
+//       [--probe-interval-ms N] [--hot-cache N] [--fault SPEC]
 //   dsf client (--scenario FILE | --generate SPEC [--instance SPEC]
 //       | --stats | --ping) [--port N] [--host A] [--solvers LIST]
 //       [--seed N] [--epsilon X] [--repetitions N] [--no-prune]
-//       [--repeat N] [--json FILE]
+//       [--repeat N] [--retries N] [--backoff-ms N] [--json FILE]
 //   dsf --list-solvers
 //   dsf --list-generators
 #include <cerrno>
@@ -34,6 +39,7 @@
 
 #include "cli/json.hpp"
 #include "serve/client.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "solve/batch.hpp"
 #include "solve/solver.hpp"
@@ -65,6 +71,8 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: dsf --scenario FILE [options]\n"
                "       dsf serve [--port N] [--threads N] [--cache N]\n"
+               "       dsf shard-router --backend HOST:PORT"
+               " [--backend HOST:PORT ...]\n"
                "       dsf client (--scenario FILE | --generate SPEC |"
                " --stats | --ping)\n"
                "                  [--port N] [--repeat N] [options]\n"
@@ -448,6 +456,14 @@ void PrintServeUsage(std::FILE* out) {
                " (default 32)\n"
                "  --max-pending N   admission bound on queued + running"
                " units (default 1024)\n"
+               "  --send-timeout-ms N  per-connection send deadline"
+               " (default 30000; 0 disables)\n"
+               "  --recv-timeout-ms N  per-connection receive deadline"
+               " (default 300000; 0 disables)\n"
+               "  --fault SPEC      chaos hook: exit_after=N, drop_every=N,\n"
+               "                    truncate_every=N, delay_every=N,"
+               " delay_ms=D\n"
+               "                    (DSF_FAULT env is the fallback)\n"
                "\n"
                "SIGINT / SIGTERM drain the queue and exit 0.\n");
 }
@@ -477,6 +493,9 @@ void PrintClientUsage(std::FILE* out) {
                "  --no-prune        skip minimal-subforest pruning\n"
                "  --repeat N        send the same solve N times (duplicate"
                " burst)\n"
+               "  --retries N       connect retries (default 0; exponential"
+               " backoff)\n"
+               "  --backoff-ms N    base retry backoff (default 50)\n"
                "  --json FILE       also write the response lines to FILE\n");
 }
 
@@ -548,6 +567,26 @@ int RunServeCommand(int argc, char** argv) {
         break;
       }
       options.max_pending = static_cast<int>(value);
+    } else if (flag == "--send-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--send-timeout-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--send-timeout-ms must be in [0, 86400000]";
+        break;
+      }
+      options.send_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--recv-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--recv-timeout-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--recv-timeout-ms must be in [0, 86400000]";
+        break;
+      }
+      options.recv_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--fault") {
+      const char* v = need_value();
+      if (!v) break;
+      options.fault_spec = v;
     } else {
       error = "unknown flag: " + flag;
       break;
@@ -557,6 +596,11 @@ int RunServeCommand(int argc, char** argv) {
     std::fprintf(stderr, "dsf serve: %s\n", error.c_str());
     PrintServeUsage(stderr);
     return 2;
+  }
+  // Env fallback: chaos harnesses that cannot edit the command line (CI
+  // matrix entries, wrapper scripts) arm the fault hook via DSF_FAULT.
+  if (options.fault_spec.empty()) {
+    if (const char* env = std::getenv("DSF_FAULT")) options.fault_spec = env;
   }
   return RunServe(options);
 }
@@ -646,6 +690,22 @@ int RunClientCommand(int argc, char** argv) {
         break;
       }
       args.repeat = static_cast<int>(value);
+    } else if (flag == "--retries") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--retries", v, value, error)) break;
+      if (value < 0 || value > 100) {
+        error = "--retries must be in [0, 100]";
+        break;
+      }
+      args.retry.retries = static_cast<int>(value);
+    } else if (flag == "--backoff-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--backoff-ms", v, value, error)) break;
+      if (value < 0 || value > 60'000) {
+        error = "--backoff-ms must be in [0, 60000]";
+        break;
+      }
+      args.retry.backoff_ms = static_cast<int>(value);
     } else if (flag == "--json") {
       const char* v = need_value();
       if (!v) break;
@@ -673,6 +733,202 @@ int RunClientCommand(int argc, char** argv) {
     return 2;
   }
   return RunClient(args);
+}
+
+void PrintRouterUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dsf shard-router --backend HOST:PORT"
+               " [--backend HOST:PORT ...] [options]\n"
+               "\n"
+               "options:\n"
+               "  --backend H:P        one backend `dsf serve` endpoint"
+               " (repeatable; >= 1)\n"
+               "  --port N             listen port (default 0 = ephemeral)\n"
+               "  --host A             bind address (default 127.0.0.1)\n"
+               "  --retries N          attempts beyond the first per request"
+               " (default 3)\n"
+               "  --backoff-ms N       base retry backoff (default 50;"
+               " exponential + jitter)\n"
+               "  --ring-replicas N    virtual nodes per backend"
+               " (default 64)\n"
+               "  --probe-interval-ms N  health-probe cadence (default 250;"
+               " 0 disables)\n"
+               "  --probe-timeout-ms N   per-probe deadline (default 1000)\n"
+               "  --connect-timeout-ms N upstream connect deadline"
+               " (default 1000)\n"
+               "  --upstream-timeout-ms N  upstream response deadline"
+               " (default 60000)\n"
+               "  --failures-to-down N   failures before a backend is marked"
+               " down (default 1)\n"
+               "  --successes-to-up N    consecutive probe successes to"
+               " re-admit (default 2)\n"
+               "  --hot-cache N        router-local response cache entries"
+               " (default 512;\n"
+               "                       0 disables)\n"
+               "  --send-timeout-ms N  downstream send deadline"
+               " (default 30000)\n"
+               "  --recv-timeout-ms N  downstream receive deadline"
+               " (default 300000)\n"
+               "  --fault SPEC         chaos hook on the router's own"
+               " listener\n"
+               "\n"
+               "SIGINT / SIGTERM drain in-flight requests and exit 0.\n");
+}
+
+int RunShardRouterCommand(int argc, char** argv) {
+  RouterOptions options;
+  std::string error;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        error = "missing value for " + flag;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    long long value = 0;
+    if (flag == "--help" || flag == "-h") {
+      PrintRouterUsage(stdout);
+      return 0;
+    } else if (flag == "--backend") {
+      const char* v = need_value();
+      if (!v) break;
+      try {
+        options.backends.push_back(ParseBackendSpec(v));
+      } catch (const std::exception& e) {
+        error = e.what();
+        break;
+      }
+    } else if (flag == "--port") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--port", v, value, error)) break;
+      if (value < 0 || value > 65535) {
+        error = "--port must be in [0, 65535]";
+        break;
+      }
+      options.port = static_cast<int>(value);
+    } else if (flag == "--host") {
+      const char* v = need_value();
+      if (!v) break;
+      options.host = v;
+    } else if (flag == "--retries") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--retries", v, value, error)) break;
+      if (value < 0 || value > 100) {
+        error = "--retries must be in [0, 100]";
+        break;
+      }
+      options.retry.retries = static_cast<int>(value);
+    } else if (flag == "--backoff-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--backoff-ms", v, value, error)) break;
+      if (value < 0 || value > 60'000) {
+        error = "--backoff-ms must be in [0, 60000]";
+        break;
+      }
+      options.retry.backoff_ms = static_cast<int>(value);
+    } else if (flag == "--ring-replicas") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--ring-replicas", v, value, error)) break;
+      if (value < 1 || value > 4096) {
+        error = "--ring-replicas must be in [1, 4096]";
+        break;
+      }
+      options.ring_replicas = static_cast<int>(value);
+    } else if (flag == "--probe-interval-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--probe-interval-ms", v, value, error)) break;
+      if (value < 0 || value > 3'600'000) {
+        error = "--probe-interval-ms must be in [0, 3600000]";
+        break;
+      }
+      options.probe_interval_ms = static_cast<int>(value);
+    } else if (flag == "--probe-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--probe-timeout-ms", v, value, error)) break;
+      if (value < 1 || value > 600'000) {
+        error = "--probe-timeout-ms must be in [1, 600000]";
+        break;
+      }
+      options.probe_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--connect-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--connect-timeout-ms", v, value, error)) break;
+      if (value < 1 || value > 600'000) {
+        error = "--connect-timeout-ms must be in [1, 600000]";
+        break;
+      }
+      options.connect_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--upstream-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--upstream-timeout-ms", v, value, error)) break;
+      if (value < 1 || value > 86'400'000) {
+        error = "--upstream-timeout-ms must be in [1, 86400000]";
+        break;
+      }
+      options.upstream_recv_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--failures-to-down") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--failures-to-down", v, value, error)) break;
+      if (value < 1 || value > 1000) {
+        error = "--failures-to-down must be in [1, 1000]";
+        break;
+      }
+      options.health.failures_to_down = static_cast<int>(value);
+    } else if (flag == "--successes-to-up") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--successes-to-up", v, value, error)) break;
+      if (value < 1 || value > 1000) {
+        error = "--successes-to-up must be in [1, 1000]";
+        break;
+      }
+      options.health.successes_to_up = static_cast<int>(value);
+    } else if (flag == "--hot-cache") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--hot-cache", v, value, error)) break;
+      if (value < 0 || value > (1LL << 30)) {
+        error = "--hot-cache must be in [0, 2^30]";
+        break;
+      }
+      options.hot_cache_entries = static_cast<std::size_t>(value);
+    } else if (flag == "--send-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--send-timeout-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--send-timeout-ms must be in [0, 86400000]";
+        break;
+      }
+      options.send_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--recv-timeout-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--recv-timeout-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--recv-timeout-ms must be in [0, 86400000]";
+        break;
+      }
+      options.recv_timeout_ms = static_cast<int>(value);
+    } else if (flag == "--fault") {
+      const char* v = need_value();
+      if (!v) break;
+      options.fault_spec = v;
+    } else {
+      error = "unknown flag: " + flag;
+      break;
+    }
+  }
+  if (error.empty() && options.backends.empty()) {
+    error = "at least one --backend HOST:PORT is required";
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "dsf shard-router: %s\n", error.c_str());
+    PrintRouterUsage(stderr);
+    return 2;
+  }
+  if (options.fault_spec.empty()) {
+    if (const char* env = std::getenv("DSF_FAULT")) options.fault_spec = env;
+  }
+  return RunShardRouter(options);
 }
 
 void PrintGenerators() {
@@ -706,6 +962,14 @@ int main(int argc, char** argv) {
       return dsf::RunServeCommand(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "dsf serve: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "shard-router") == 0) {
+    try {
+      return dsf::RunShardRouterCommand(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dsf shard-router: %s\n", e.what());
       return 2;
     }
   }

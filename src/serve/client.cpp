@@ -1,43 +1,27 @@
 #include "serve/client.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/text.hpp"
 #include "serve/sockets.hpp"
 
 namespace dsf {
 
-ClientConnection::ClientConnection(const std::string& host, int port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("invalid host address: " + host);
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot connect to " + host + ":" +
-                             std::to_string(port) + ": " + what);
-  }
+ClientConnection::ClientConnection(const std::string& host, int port,
+                                   ConnectionLimits limits)
+    : max_line_bytes_(limits.max_line_bytes) {
+  fd_ = ConnectTcp(host, port, limits.connect_timeout_ms);
+  SetSendTimeout(fd_, limits.send_timeout_ms);
+  SetRecvTimeout(fd_, limits.recv_timeout_ms);
 }
 
 ClientConnection::~ClientConnection() {
@@ -60,10 +44,19 @@ bool ClientConnection::RecvLine(std::string& line) {
       buffer_.erase(0, nl + 1);
       return true;
     }
+    if (max_line_bytes_ != 0 && buffer_.size() > max_line_bytes_) {
+      throw std::runtime_error("response line exceeds " +
+                               std::to_string(max_line_bytes_) + " bytes");
+    }
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0) {
+      // EAGAIN under SO_RCVTIMEO is the read deadline, the failure mode a
+      // hung-but-connected peer produces.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("recv: timed out waiting for a response");
+      }
       throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) return false;
@@ -142,9 +135,30 @@ std::string BuildClientRequest(const ClientArgs& args) {
   return os.str();
 }
 
+// Connects with the shared retry policy: transient connect failures (a
+// backend mid-restart, a router not yet bound) back off and try again
+// instead of failing the whole invocation on the first ECONNREFUSED.
+static ClientConnection ConnectWithRetry(const ClientArgs& args) {
+  const std::uint64_t nonce =
+      static_cast<std::uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ULL +
+      static_cast<std::uint64_t>(args.port);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return ClientConnection(args.host, args.port);
+    } catch (const std::exception& e) {
+      if (attempt >= args.retry.retries) throw;
+      const int delay = BackoffDelayMs(args.retry, attempt, nonce);
+      std::fprintf(stderr,
+                   "dsf client: connect failed (%s); retry %d/%d in %d ms\n",
+                   e.what(), attempt + 1, args.retry.retries, delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
 int RunClient(const ClientArgs& args) {
   const std::string request = BuildClientRequest(args);
-  ClientConnection conn(args.host, args.port);
+  ClientConnection conn = ConnectWithRetry(args);
 
   std::ofstream file;
   if (!args.json_path.empty()) {

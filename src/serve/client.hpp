@@ -1,21 +1,36 @@
 // Client side of the dsf service: a tiny blocking line-protocol connection
-// (used by `dsf client`, the serve tests, and the bench_serve load
-// generator) plus the `dsf client` subcommand logic.
+// (used by `dsf client`, the shard router's upstream hop, the serve tests,
+// and the bench_serve load generator) plus the `dsf client` subcommand
+// logic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "cli/json.hpp"
+#include "serve/retry.hpp"
 
 namespace dsf {
 
+// Deadlines and bounds for one connection; zeros disable each limit (the
+// one-shot CLI default). The router sets all four: a dead or byzantine
+// backend must fail a request in bounded time and bounded memory.
+struct ConnectionLimits {
+  int connect_timeout_ms = 0;
+  int send_timeout_ms = 0;
+  int recv_timeout_ms = 0;
+  std::size_t max_line_bytes = 0;
+};
+
 // One blocking TCP connection speaking newline-delimited JSON. Methods
-// throw std::runtime_error on socket failures.
+// throw std::runtime_error on socket failures (including deadline expiry
+// when limits are set).
 class ClientConnection {
  public:
-  ClientConnection(const std::string& host, int port);
+  ClientConnection(const std::string& host, int port,
+                   ConnectionLimits limits = {});
   ~ClientConnection();
 
   ClientConnection(const ClientConnection&) = delete;
@@ -31,6 +46,7 @@ class ClientConnection {
 
  private:
   int fd_ = -1;
+  std::size_t max_line_bytes_ = 0;
   std::string buffer_;
 };
 
@@ -53,6 +69,9 @@ struct ClientArgs {
   bool prune = true;
   int repeat = 1;        // send the same solve N times (duplicate burst)
   std::string json_path; // write response lines here as well
+  // Connect retries (serve/retry.hpp): one-shot clients survive transient
+  // connect failures — a backend mid-restart, a router not yet bound.
+  RetryPolicy retry;
 };
 
 // Runs the subcommand: sends the request(s), prints each response line to

@@ -1,0 +1,75 @@
+// Deterministic fault injection for the service layer. The failover paths
+// of the shard router are only trustworthy if they can be exercised on
+// demand: this hook makes a backend misbehave in exactly the ways the
+// router must survive — vanish mid-request (exit), drop a connection
+// instead of replying, delay a reply past the peer's read deadline, or
+// truncate a response line into malformed JSON.
+//
+// Faults are counter-driven (every request line consumed by the endpoint,
+// probes included, bumps one atomic counter), so a given spec misbehaves at
+// the same request ordinals on every run — chaos tests are deterministic,
+// not flaky. Configured from `dsf serve --fault SPEC` or the DSF_FAULT
+// environment variable; in-process tests reconfigure at runtime through
+// `Server::Fault()`.
+//
+// Spec grammar: comma-separated key=value pairs, all optional:
+//   exit_after=N      — _Exit(3) without replying once request N arrives
+//                       (a crash, not a drain: peers see EOF / ECONNRESET)
+//   drop_every=N      — close the connection instead of replying on every
+//                       Nth request (N=1: drop everything)
+//   truncate_every=N  — send only the first half of every Nth response,
+//                       then close (the peer reads malformed JSON)
+//   delay_every=N     — sleep delay_ms before every Nth reply
+//   delay_ms=D        — the delay used by delay_every (implies
+//                       delay_every=1 when only delay_ms is given)
+// The empty spec disables injection entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace dsf {
+
+struct FaultAction {
+  enum class Kind { kNone, kExit, kDrop, kTruncate, kDelay };
+  Kind kind = Kind::kNone;
+  int delay_ms = 0;  // kDelay only
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const std::string& spec) { Configure(spec); }
+
+  // Replaces the active spec and resets the request counter (so a spec
+  // installed mid-run fires at deterministic ordinals from that point).
+  // Throws std::runtime_error on an unknown key or a malformed value.
+  void Configure(const std::string& spec);
+
+  // True when any fault is armed; endpoints skip the per-request lock
+  // entirely when nothing is configured. Atomic: tests arm faults from
+  // another thread while handlers are mid-stream.
+  [[nodiscard]] bool Enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  // Counts this request and decides its fate. Precedence when several
+  // faults trigger on the same ordinal: exit > drop > truncate > delay.
+  [[nodiscard]] FaultAction OnRequest();
+
+  [[nodiscard]] std::uint64_t Requests() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::uint64_t requests_ = 0;
+  std::uint64_t exit_after_ = 0;      // 0 = disarmed
+  std::uint64_t drop_every_ = 0;
+  std::uint64_t truncate_every_ = 0;
+  std::uint64_t delay_every_ = 0;
+  int delay_ms_ = 0;
+};
+
+}  // namespace dsf

@@ -1,0 +1,49 @@
+// One retry policy for every client of the wire: `dsf client` (connect
+// retries) and the shard router (per-request retry + failover) share this
+// helper so the two retry loops cannot drift apart.
+//
+// Backoff is exponential with full-range deterministic jitter: attempt k
+// waits in [delay/2, delay] where delay = base * 2^k, capped at `max`.
+// Jitter is derived from (nonce, attempt) through Mix64 — deterministic
+// given the caller's nonce, so tests can pin exact delays, while distinct
+// callers (distinct nonces) still decorrelate and do not stampede a
+// recovering backend in lockstep.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace dsf {
+
+struct RetryPolicy {
+  int retries = 0;         // additional attempts after the first
+  int backoff_ms = 50;     // base delay before the first retry
+  int max_backoff_ms = 2000;
+};
+
+// Delay in ms before retry `attempt` (0 = the first retry). Always >= 1 when
+// the policy has a positive base, so a retry loop can never spin hot.
+[[nodiscard]] inline int BackoffDelayMs(const RetryPolicy& policy, int attempt,
+                                        std::uint64_t nonce) noexcept {
+  if (policy.backoff_ms <= 0) return 0;
+  // Cap the shift, not the product: 2^attempt overflows long before the
+  // min() with max_backoff_ms would save it.
+  const int shift = std::min(attempt, 20);
+  const std::int64_t uncapped =
+      static_cast<std::int64_t>(policy.backoff_ms) << shift;
+  const std::int64_t delay =
+      std::min<std::int64_t>(uncapped, std::max(policy.max_backoff_ms, 1));
+  // Jitter into [delay/2, delay]: the top half keeps backoff meaningful,
+  // the randomized bottom half breaks synchronization.
+  const std::uint64_t r =
+      Mix64(nonce ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                 attempt + 1)));
+  const std::int64_t half = delay / 2;
+  const std::int64_t jittered =
+      delay - static_cast<std::int64_t>(r % static_cast<std::uint64_t>(half + 1));
+  return static_cast<int>(std::max<std::int64_t>(jittered, 1));
+}
+
+}  // namespace dsf

@@ -1,34 +1,23 @@
 // The resident dsf service (DESIGN.md §5): a dependency-free POSIX TCP
 // server speaking the line-delimited JSON protocol of serve/protocol.hpp.
 //
-// Thread structure:
-//   * one accept thread (poll over the listen socket and a self-pipe),
-//   * one detached handler thread per connection — handlers parse
-//     requests, probe the shared `ResultCache`, and block on
-//     `AdmissionQueue` tickets; they never run solver work, and they are
-//     counted rather than joined (a resident server must not accumulate a
-//     zombie joinable thread per finished connection),
-//   * the admission queue's dispatcher thread, which owns the only
-//     `BatchEngine` (--threads executors).
-//
-// Shutdown (SIGINT via `RunServe`, or `RequestShutdown()` from tests) is a
-// drain, not an abort: stop accepting, half-close every connection so
-// handlers finish the request lines already received and deliver their
-// responses, wait for the handler count to reach zero, then drain the
-// queue. `Wait()` returns 0 after a clean drain.
+// The listener scaffolding (accept thread, detached per-connection line
+// framing, socket deadlines, fault injection, drain-not-abort shutdown)
+// lives in serve/listener.hpp and is shared with the shard router; this
+// class adds the solver-facing state: the shared `ResultCache`, the
+// `AdmissionQueue` whose dispatcher thread owns the only `BatchEngine`
+// (--threads executors), and the wire-protocol handler. Connection
+// handlers probe the cache and block on admission tickets; they never run
+// solver work.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
+#include "serve/listener.hpp"
 #include "serve/protocol.hpp"
 
 namespace dsf {
@@ -43,59 +32,32 @@ struct ServeOptions {
   int cache_shards = 8;
   // One request line must fit in memory; longer lines fail the connection.
   std::size_t max_line_bytes = 4u << 20;
+  // Per-connection socket deadlines (listener.hpp); <= 0 disables one.
+  int send_timeout_ms = 30'000;
+  int recv_timeout_ms = 300'000;
+  // Fault-injection spec (serve/fault.hpp grammar); empty = disabled.
+  std::string fault_spec;
 };
 
-class Server {
+class Server : public LineEndpoint {
  public:
   explicit Server(ServeOptions options = {});
-  ~Server();
-
-  Server(const Server&) = delete;
-  Server& operator=(const Server&) = delete;
-
-  // Binds + listens + spawns the accept thread. Throws std::runtime_error
-  // when the socket cannot be bound.
-  void Start();
-
-  // The bound port (valid after Start()).
-  [[nodiscard]] int Port() const noexcept { return port_; }
-
-  // Triggers the drain. Async-signal-safe (a single write to a pipe), so
-  // `RunServe` calls it straight from the SIGINT handler.
-  void RequestShutdown() noexcept;
-
-  // Blocks until the server has fully drained; returns the process exit
-  // code (0 on a clean drain).
-  int Wait();
+  ~Server() override;
 
   // Introspection for tests and the in-process bench.
   [[nodiscard]] ResultCache& Cache() noexcept { return *cache_; }
   [[nodiscard]] AdmissionQueue& Queue() noexcept { return *queue_; }
 
- private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+ protected:
+  std::string HandleLine(std::string_view line) override {
+    return HandleRequestLine(context_, line);
+  }
+  void OnDrained() override { queue_->Drain(); }
 
-  ServeOptions options_;
+ private:
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<AdmissionQueue> queue_;
   ServeContext context_;
-
-  int listen_fd_ = -1;
-  int port_ = 0;
-  int shutdown_pipe_[2] = {-1, -1};
-  std::thread accept_thread_;
-
-  // Handler threads run detached — a resident server must not accumulate
-  // one joinable zombie (stack mapping included) per finished connection —
-  // so connection tracking is a counter: the drain waits for it to reach
-  // zero instead of joining.
-  std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;
-  std::vector<int> conn_fds_;
-  int active_handlers_ = 0;
-  bool started_ = false;
-  bool drained_ = false;
 };
 
 // CLI entry: starts the server, prints one {"listening":...} JSON line to

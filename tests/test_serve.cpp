@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "cli/json.hpp"
 #include "common/random.hpp"
@@ -20,6 +24,7 @@
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/sockets.hpp"
 #include "solve/solver.hpp"
 #include "workload/spec.hpp"
 
@@ -661,6 +666,148 @@ TEST(ServerTest, ConcurrentDuplicateStreamIsBitIdenticalToOneShot) {
 
   server.RequestShutdown();
   EXPECT_EQ(server.Wait(), 0);
+}
+
+// --- failure edges -----------------------------------------------------------
+
+TEST(ServerTest, OverloadRejectsThenRecoversOverSockets) {
+  // A depth-bound rejection must be a clean structured answer, and it must
+  // not wedge the queue: admissible work right after the reject succeeds.
+  ServeOptions options;
+  options.max_pending = 2;
+  Server server(options);
+  server.Start();
+
+  ClientConnection conn("127.0.0.1", server.Port());
+  // Four units (two instances x two solvers) against a bound of two.
+  std::ostringstream heavy;
+  heavy << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+        << R"(,"solvers":["gw-moat","mst-prune"]})";
+  const JsonValue rejected = conn.RoundTrip(heavy.str());
+  EXPECT_FALSE(rejected.GetBool("ok", true));
+  EXPECT_EQ(rejected.GetString("error", ""), "overloaded");
+
+  // Recovery on the same connection: a one-solver solve (two units) fits
+  // the bound, is admitted, and solves bit-identically to the one-shot run.
+  std::ostringstream light;
+  light << R"({"op":"solve","spec":)" << EscapeForJson(kWireSpec)
+        << R"(,"solvers":["gw-moat"]})";
+  const JsonValue ok = conn.RoundTrip(light.str());
+  ASSERT_TRUE(ok.GetBool("ok", false)) << ok.GetString("error", "");
+  const auto expected = OneShot(kWireSpec, {"gw-moat"});
+  const auto cells = CellsOf(ok);
+  ASSERT_EQ(cells.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cells[i].weight, expected[i].weight);
+    EXPECT_EQ(cells[i].edges, expected[i].edges);
+  }
+
+  // A concurrent burst of admissible solves against the same bound: every
+  // response is either a solution or a clean "overloaded" — never a hang,
+  // never a broken connection.
+  constexpr int kBurst = 4;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kBurst);
+  for (int c = 0; c < kBurst; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ClientConnection burst_conn("127.0.0.1", server.Port());
+        std::ostringstream req;
+        req << R"({"op":"solve","spec":)"
+            << EscapeForJson(kWireSpec + std::string("pair 0 ") +
+                             std::to_string(c % 3 + 2) + "\n")
+            << R"(,"solvers":["gw-moat"]})";
+        const JsonValue v = burst_conn.RoundTrip(req.str());
+        if (!v.GetBool("ok", false) &&
+            v.GetString("error", "") != "overloaded") {
+          ++bad;
+        }
+      } catch (const std::exception&) {
+        ++bad;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(server.Queue().Counters().rejected, 0u);
+
+  // The queue drained back to empty: the next request is admitted again.
+  EXPECT_TRUE(conn.RoundTrip(light.str()).GetBool("ok", false));
+
+  server.RequestShutdown();
+  EXPECT_EQ(server.Wait(), 0);
+}
+
+TEST(ServerTest, CoalescedLeaderConnectionDiesMidSolve) {
+  // Client A submits a solve and hangs up without reading the reply;
+  // client B submits the identical request. The ticket A led must still
+  // complete and B's solution must be bit-identical to the in-process
+  // handler's — a dead leader never poisons followers.
+  ServeOptions options;
+  Server server(options);
+  server.Start();
+
+  // Heavy enough that B usually lands while A's unit is still in flight
+  // (the contract below holds either way: coalesced or served from cache).
+  const std::string request =
+      R"({"op":"solve","generate":"grid rows=12 cols=12",)"
+      R"("instance":"random-ic k=3 tpc=3","solvers":["gw-moat"],"seed":17})";
+
+  {
+    ClientConnection leader("127.0.0.1", server.Port());
+    leader.SendLine(request);
+  }  // destructor closes the socket with the solve still in flight
+
+  ClientConnection follower("127.0.0.1", server.Port());
+  follower.SendLine(request);
+  std::string response;
+  ASSERT_TRUE(follower.RecvLine(response));
+
+  const JsonValue got = ParseJson(response);
+  ASSERT_TRUE(got.GetBool("ok", false)) << got.GetString("error", "");
+  InProcessService svc;
+  const JsonValue want = ParseJson(HandleRequestLine(svc.ctx, request));
+  ASSERT_TRUE(want.GetBool("ok", false));
+  const auto got_cells = CellsOf(got);
+  const auto want_cells = CellsOf(want);
+  ASSERT_EQ(got_cells.size(), want_cells.size());
+  for (std::size_t i = 0; i < want_cells.size(); ++i) {
+    EXPECT_EQ(got_cells[i].weight, want_cells[i].weight);
+    EXPECT_EQ(got_cells[i].edges, want_cells[i].edges);
+  }
+
+  // Exactly one computation was scheduled for the pair; the duplicate was
+  // coalesced onto the leader's ticket or answered from the cache.
+  const CacheCounters cache = server.Cache().Counters();
+  const QueueCounters queue = server.Queue().Counters();
+  EXPECT_EQ(queue.admitted, 1u);
+  EXPECT_EQ(cache.hits + queue.coalesced, 1u);
+  EXPECT_EQ(cache.misses, 1u + queue.coalesced);
+
+  server.RequestShutdown();
+  EXPECT_EQ(server.Wait(), 0);
+}
+
+TEST(ServerTest, DrainsWithPartialLineInFlight) {
+  // A client stalled mid-line (bytes sent, no newline) must not pin the
+  // drain: SHUT_RD delivers EOF to its handler, which discards the
+  // partial request and exits.
+  ServeOptions options;
+  Server server(options);
+  server.Start();
+
+  const int fd = ConnectTcp("127.0.0.1", server.Port(), 0);
+  ASSERT_GE(fd, 0);
+  const std::string partial = R"({"op":"ping")";  // no closing }, no \n
+  ASSERT_TRUE(SendAll(fd, partial.data(), partial.size()));
+  // Give the accept loop time to hand the bytes to a handler so the drain
+  // path below exercises an in-flight partial read, not an empty socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  server.RequestShutdown();
+  EXPECT_EQ(server.Wait(), 0);
+  ::close(fd);
 }
 
 }  // namespace
