@@ -1,0 +1,174 @@
+// Portfolio racing on a mixed sweep (DESIGN.md §3): two workload classes,
+// each pathological for a different roster member.
+//
+//   corridor  256x256 grid, terminals clustered in one corner strip —
+//             greedy-merge's stopped Dijkstra balls cover a vanishing
+//             fraction of the graph (~5 ms) while every solver that looks
+//             at all m edges (Kruskal seed, moat events) pays 50-90 ms;
+//   manyt     48x48 grid, 96 spread terminals — mst-prune's early-stopping
+//             heap-Kruskal finishes in ~2 ms while greedy-merge pays its
+//             O(t^2) merge schedule and local-search its per-edge moves
+//             (35-70 ms).
+//
+// No single member is fast on both classes, so the best single solver's
+// sweep p95 is its worst class; the racing portfolio (mode=first, width >=
+// 4) tracks the per-class winner and must beat that p95 by >= 1.3x even
+// with the racers time-slicing one core. mode=all on the same sweep checks
+// the cost side: never worse than the best member on any unit.
+// `bench/run_benchmarks.sh` records this series as BENCH_portfolio.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "solve/solver.hpp"
+#include "workload/spec.hpp"
+
+namespace dsf {
+namespace {
+
+constexpr char kMixedSweep[] = R"(
+seed 4027
+generate grid rows=256 cols=256 max_w=9 as corridor
+sample random-ic near k=2 tpc=2 span=32
+sweep salt 0 1 2 3 4 5
+
+generate grid rows=48 cols=48 max_w=9 as manyt
+sample random-ic spread k=20 tpc=6
+sweep salt 0 1 2 3 4 5
+)";
+
+const std::vector<std::string> kRoster = {"gw-moat", "mst-prune",
+                                         "greedy-merge", "local-search"};
+
+double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())) - 1);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+// Wall time of one full pipeline solve, in ms (what a serving tier sees).
+double TimedSolve(const std::string& solver, const Graph& g,
+                  const IcInstance& ic, const SolveOptions& opt,
+                  std::uint64_t seed, SolveResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = Solve(solver, g, ic, opt, seed);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void BM_PortfolioMixedSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::istringstream in(kMixedSweep);
+  const Workload workload =
+      ExpandWorkload(ParseWorkloadSpec(in, "<bench_portfolio>"));
+
+  struct Unit {
+    const Graph* g;
+    const IcInstance* ic;
+    std::uint64_t seed;
+  };
+  std::vector<Unit> units;
+  std::uint64_t unit_seed = 1;
+  for (const WorkloadCase& c : workload.cases) {
+    for (const WorkloadInstance& inst : c.instances) {
+      units.push_back({&c.graph, &inst.ic, unit_seed++});
+    }
+  }
+
+  const std::string first_spec =
+      "portfolio(roster=gw-moat+mst-prune+greedy-merge+local-search,"
+      "mode=first)";
+  const std::string all_spec =
+      "portfolio(roster=gw-moat+mst-prune+greedy-merge+local-search,"
+      "mode=all)";
+
+  double best_single_p95 = 0.0;
+  double p50_first = 0.0, p95_first = 0.0;
+  double cost_ratio_worst = 0.0;
+  long infeasible = 0;
+  std::vector<double> member_p95(kRoster.size(), 0.0);
+
+  for (auto _ : state) {
+    // Every member alone over the whole sweep: its p95 is its worst class.
+    std::vector<std::vector<Weight>> member_weights(
+        kRoster.size(), std::vector<Weight>(units.size(), 0));
+    best_single_p95 = 0.0;
+    for (std::size_t s = 0; s < kRoster.size(); ++s) {
+      std::vector<double> walls;
+      walls.reserve(units.size());
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        SolveResult res;
+        walls.push_back(TimedSolve(kRoster[s], *units[u].g, *units[u].ic, {},
+                                   units[u].seed, &res));
+        if (!res.feasible) ++infeasible;
+        member_weights[s][u] = res.weight;
+      }
+      member_p95[s] = Percentile(walls, 0.95);
+      if (s == 0 || member_p95[s] < best_single_p95) {
+        best_single_p95 = member_p95[s];
+      }
+    }
+
+    // The racing portfolio over the same sweep.
+    std::vector<double> first_walls;
+    first_walls.reserve(units.size());
+    SolveOptions race;
+    race.net.threads = threads;
+    for (const Unit& unit : units) {
+      SolveResult res;
+      first_walls.push_back(
+          TimedSolve(first_spec, *unit.g, *unit.ic, race, unit.seed, &res));
+      if (!res.feasible) ++infeasible;
+    }
+    p50_first = Percentile(first_walls, 0.50);
+    p95_first = Percentile(first_walls, 0.95);
+
+    // Cost contract of mode=all: never worse than the best member anywhere.
+    cost_ratio_worst = 0.0;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      SolveResult res;
+      (void)TimedSolve(all_spec, *units[u].g, *units[u].ic, race,
+                       units[u].seed, &res);
+      if (!res.feasible) ++infeasible;
+      Weight best = member_weights[0][u];
+      for (std::size_t s = 1; s < kRoster.size(); ++s) {
+        best = std::min(best, member_weights[s][u]);
+      }
+      cost_ratio_worst =
+          std::max(cost_ratio_worst, static_cast<double>(res.weight) /
+                                         static_cast<double>(best));
+    }
+  }
+
+  state.counters["units"] = static_cast<double>(units.size());
+  state.counters["threads"] = threads;
+  state.counters["infeasible"] = static_cast<double>(infeasible);  // must be 0
+  for (std::size_t s = 0; s < kRoster.size(); ++s) {
+    state.counters["p95_" + kRoster[s]] = member_p95[s];
+  }
+  state.counters["p95_best_single"] = best_single_p95;
+  state.counters["p50_portfolio_first"] = p50_first;
+  state.counters["p95_portfolio_first"] = p95_first;
+  // The acceptance ratio: >= 1.3 at threads >= 4.
+  state.counters["p95_speedup"] =
+      p95_first > 0.0 ? best_single_p95 / p95_first : 0.0;
+  // The mode=all cost contract: <= 1.0.
+  state.counters["cost_ratio_worst"] = cost_ratio_worst;
+}
+BENCHMARK(BM_PortfolioMixedSweep)
+    ->Arg(1)   // width 1: members run inline, no racing win — the baseline
+    ->Arg(4)   // the acceptance row: >= 4-way race
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dsf
+
+BENCHMARK_MAIN();

@@ -8,7 +8,8 @@
 #
 # Defaults: build_dir = build, out_dir = build_dir. Writes
 # BENCH_simulator.json, BENCH_batch.json, BENCH_serve.json,
-# BENCH_router.json, and BENCH_smoke.json into out_dir.
+# BENCH_router.json, BENCH_portfolio.json, and BENCH_smoke.json into
+# out_dir. Refuses to run against a non-Release build.
 #
 # Fails loudly: a missing binary, a crashing benchmark, or a run that
 # produces empty/truncated JSON all abort with a nonzero exit and a
@@ -20,7 +21,17 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR}"
 mkdir -p "$OUT_DIR"
 
-for bin in bench_simulator bench_batch_throughput bench_serve bench_router bench_rounds_vs_n; do
+# Refuse non-Release builds: debug-recorded BENCH_*.json files are useless
+# for cross-commit comparison but look exactly like real ones (this burned
+# us once — an early BENCH_simulator.json carried
+# "library_build_type": "debug").
+if ! grep -q '^CMAKE_BUILD_TYPE:[^=]*=Release$' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
+  echo "error: $BUILD_DIR is not a Release build (CMAKE_BUILD_TYPE must be" \
+       "Release; configure with cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+  exit 1
+fi
+
+for bin in bench_simulator bench_batch_throughput bench_serve bench_router bench_portfolio bench_rounds_vs_n; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built (need Google Benchmark;" \
          "configure with e.g. cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -49,6 +60,21 @@ run_bench() {
          "(empty or truncated JSON)" >&2
     exit 1
   fi
+  # The context's "library_build_type" reports how *Google Benchmark* was
+  # compiled (the distro package ships a debug build), so stamp the dsf
+  # build type — guaranteed Release by the gate above — explicitly.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out_json" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+doc.setdefault("context", {})["dsf_build_type"] = "Release"
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+  fi
 }
 
 run_bench bench_simulator "$OUT_DIR/BENCH_simulator.json"
@@ -69,6 +95,11 @@ run_bench bench_serve "$OUT_DIR/BENCH_serve.json"
 run_bench bench_router "$OUT_DIR/BENCH_router.json" \
   --benchmark_filter='BM_Router.*'
 
+# Racing portfolio on the mixed two-class sweep: the mode=first p95 must
+# beat the best single solver's p95 by >= 1.3x at width 4, and mode=all
+# must never cost more than the best roster member (DESIGN.md §3).
+run_bench bench_portfolio "$OUT_DIR/BENCH_portfolio.json"
+
 # One smoke row of the E5 sweep (det, n = 64): cheap end-to-end sanity that
 # the protocol path still runs under the benchmark harness.
 # (the registered name carries an /iterations:1 suffix, so no $-anchor)
@@ -76,5 +107,5 @@ run_bench bench_rounds_vs_n "$OUT_DIR/BENCH_smoke.json" \
   --benchmark_filter='BM_DetRoundsVsN/64'
 
 echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
-     "$OUT_DIR/BENCH_serve.json, $OUT_DIR/BENCH_router.json, and" \
-     "$OUT_DIR/BENCH_smoke.json"
+     "$OUT_DIR/BENCH_serve.json, $OUT_DIR/BENCH_router.json," \
+     "$OUT_DIR/BENCH_portfolio.json, and $OUT_DIR/BENCH_smoke.json"

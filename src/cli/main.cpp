@@ -12,19 +12,20 @@
 // a canonical-hash result cache, a fault-tolerant router spreading requests
 // over several such servers, and a line-protocol client for both.
 //
-//   dsf --scenario FILE [--solvers all|name,name,...] [--seed N]
-//       [--threads N] [--epsilon X] [--repetitions N] [--reference]
-//       [--no-prune] [--json FILE]
+//   dsf --scenario FILE [--solvers all|spec,spec,...] [--seed N]
+//       [--threads N] [--epsilon X] [--repetitions N] [--deadline-ms N]
+//       [--reference] [--no-prune] [--json FILE]
 //   dsf serve [--port N] [--host A] [--threads N] [--cache N]
-//       [--batch-max N] [--max-pending N] [--send-timeout-ms N]
-//       [--recv-timeout-ms N] [--fault SPEC]
+//       [--batch-max N] [--max-pending N] [--deadline-ms N]
+//       [--send-timeout-ms N] [--recv-timeout-ms N] [--fault SPEC]
 //   dsf shard-router --backend HOST:PORT [--backend HOST:PORT ...]
 //       [--port N] [--host A] [--retries N] [--backoff-ms N]
 //       [--probe-interval-ms N] [--hot-cache N] [--fault SPEC]
 //   dsf client (--scenario FILE | --generate SPEC [--instance SPEC]
 //       | --stats | --ping) [--port N] [--host A] [--solvers LIST]
-//       [--seed N] [--epsilon X] [--repetitions N] [--no-prune]
-//       [--repeat N] [--retries N] [--backoff-ms N] [--json FILE]
+//       [--seed N] [--epsilon X] [--repetitions N] [--deadline-ms N]
+//       [--no-prune] [--repeat N] [--retries N] [--backoff-ms N]
+//       [--json FILE]
 //   dsf --list-solvers
 //   dsf --list-generators
 #include <cerrno>
@@ -43,6 +44,7 @@
 #include "serve/server.hpp"
 #include "solve/batch.hpp"
 #include "solve/solver.hpp"
+#include "solve/solver_spec.hpp"
 #include "steiner/exact.hpp"
 #include "workload/generators.hpp"
 #include "workload/samplers.hpp"
@@ -59,6 +61,7 @@ struct CliArgs {
   int threads = 1;
   Real epsilon = 0.0L;
   int repetitions = 1;
+  int deadline_ms = 0;  // anytime per-unit deadline; 0 = none
   bool reference = false;
   bool prune = true;
   std::string json_path;  // empty => stdout
@@ -84,8 +87,13 @@ void PrintUsage(std::FILE* out) {
                " ic/cr/sampled\n"
                "                      instances); a bare SteinLib .stp file"
                " also works\n"
-               "  --solvers LIST      comma-separated solver names, or 'all'"
-               " (default)\n"
+               "  --solvers LIST      comma-separated solver specs, or 'all'"
+               " (default when\n"
+               "                      the scenario has no 'as' directive);"
+               " a spec is a\n"
+               "                      registry name or portfolio(roster="
+               "a+b+c,mode=all|first\n"
+               "                      [,deadline_ms=N])\n"
                "  --seed N            overrides the scenario-level seed"
                " (workload expansion\n"
                "                      and request master seed)\n"
@@ -94,6 +102,9 @@ void PrintUsage(std::FILE* out) {
                "  --epsilon X         Algorithm 2 epsilon for the moat"
                " solvers\n"
                "  --repetitions N     dist-rand repetitions\n"
+               "  --deadline-ms N     anytime deadline per unit: return the"
+               " best feasible\n"
+               "                      forest found within N wall ms\n"
                "  --reference         also solve exactly, report ratios"
                " (small instances)\n"
                "  --no-prune          skip minimal-subforest pruning\n"
@@ -174,10 +185,9 @@ bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
       const char* v = need_value(i);
       if (!v) return false;
       if (std::strcmp(v, "all") != 0) {
-        std::istringstream names(v);
-        std::string name;
-        while (std::getline(names, name, ',')) {
-          if (!name.empty()) args.solvers.push_back(name);
+        // Paren-aware split: portfolio(...) specs carry commas of their own.
+        for (std::string& spec : SplitSolverList(v)) {
+          args.solvers.push_back(std::move(spec));
         }
       }
     } else if (flag == "--seed") {
@@ -215,6 +225,15 @@ bool ParseArgs(int argc, char** argv, CliArgs& args, std::string& error) {
         return false;
       }
       args.repetitions = static_cast<int>(reps);
+    } else if (flag == "--deadline-ms") {
+      const char* v = need_value(i);
+      long long ms = 0;
+      if (!v || !ParseI64("--deadline-ms", v, ms, error)) return false;
+      if (ms < 0 || ms > 86'400'000) {
+        error = "--deadline-ms must be in [0, 86400000]";
+        return false;
+      }
+      args.deadline_ms = static_cast<int>(ms);
     } else if (flag == "--reference") {
       args.reference = true;
     } else if (flag == "--no-prune") {
@@ -246,6 +265,10 @@ void WriteResult(JsonWriter& json, const WorkloadCase& wc,
   json.Int(static_cast<long long>(r.weight));
   json.Key("feasible");
   json.Bool(r.feasible);
+  if (r.cancelled) {
+    json.Key("cancelled");
+    json.Bool(true);
+  }
   json.Key("edges");
   json.BeginArray();
   for (const EdgeId e : r.forest) json.Int(e);
@@ -288,14 +311,18 @@ int RunCli(const CliArgs& args) {
   if (args.seed_set) spec.seed = args.seed;
   const Workload workload = ExpandWorkload(spec);
 
-  std::vector<std::string> solver_names = args.solvers;
+  // Solver selection: --solvers beats the scenario's `as` directive beats
+  // "every registered solver". Specs are canonicalized up front so the JSON
+  // lists the same strings the results (and the serve cache key) carry.
+  std::vector<std::string> solver_names =
+      args.solvers.empty() ? spec.solvers : args.solvers;
   if (solver_names.empty()) {
     for (const auto name : SolverRegistry::Names()) {
       solver_names.emplace_back(name);
     }
   }
-  for (const auto& name : solver_names) {
-    (void)SolverRegistry::Get(name);  // fail fast (lists the known names)
+  for (auto& name : solver_names) {
+    name = ParseSolverSpec(name).Canonical();  // fail fast on bad specs
   }
 
   SolveOptions base;
@@ -303,6 +330,7 @@ int RunCli(const CliArgs& args) {
   base.repetitions = args.repetitions;
   base.prune = args.prune;
   base.validate = true;
+  base.deadline_ms = args.deadline_ms;
   RequestMatrix matrix = BuildRequests(workload, solver_names, base);
 
   BatchOptions bopt;
@@ -456,6 +484,11 @@ void PrintServeUsage(std::FILE* out) {
                " (default 32)\n"
                "  --max-pending N   admission bound on queued + running"
                " units (default 1024)\n"
+               "  --deadline-ms N   cap every unit's anytime deadline at N"
+               " wall ms\n"
+               "                    (default 0 = uncapped); requests asking"
+               " for less keep\n"
+               "                    their tighter deadline\n"
                "  --send-timeout-ms N  per-connection send deadline"
                " (default 30000; 0 disables)\n"
                "  --recv-timeout-ms N  per-connection receive deadline"
@@ -485,11 +518,14 @@ void PrintClientUsage(std::FILE* out) {
                " 'random-ic k=2 tpc=2'\n"
                "  --stats           request the /stats counters\n"
                "  --ping            liveness probe\n"
-               "  --solvers LIST    comma-separated solver names (default"
-               " all)\n"
+               "  --solvers LIST    comma-separated solver specs (default"
+               " all; portfolio(...)\n"
+               "                    specs allowed)\n"
                "  --seed N          spec-level seed override (>= 1)\n"
                "  --epsilon X       Algorithm 2 epsilon\n"
                "  --repetitions N   dist-rand repetitions\n"
+               "  --deadline-ms N   per-unit anytime deadline forwarded to"
+               " the server\n"
                "  --no-prune        skip minimal-subforest pruning\n"
                "  --repeat N        send the same solve N times (duplicate"
                " burst)\n"
@@ -567,6 +603,14 @@ int RunServeCommand(int argc, char** argv) {
         break;
       }
       options.max_pending = static_cast<int>(value);
+    } else if (flag == "--deadline-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--deadline-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--deadline-ms must be in [0, 86400000]";
+        break;
+      }
+      options.deadline_ms = static_cast<int>(value);
     } else if (flag == "--send-timeout-ms") {
       const char* v = need_value();
       if (!v || !ParseI64("--send-timeout-ms", v, value, error)) break;
@@ -680,6 +724,14 @@ int RunClientCommand(int argc, char** argv) {
         break;
       }
       args.repetitions = static_cast<int>(value);
+    } else if (flag == "--deadline-ms") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--deadline-ms", v, value, error)) break;
+      if (value < 0 || value > 86'400'000) {
+        error = "--deadline-ms must be in [0, 86400000]";
+        break;
+      }
+      args.deadline_ms = static_cast<int>(value);
     } else if (flag == "--no-prune") {
       args.prune = false;
     } else if (flag == "--repeat") {

@@ -1,0 +1,81 @@
+// Cooperative cancellation for the solve pipeline (DESIGN.md §3 "Portfolio
+// racing & cancellation").
+//
+// A CancelToken is a thread-safe "stop asking for more work" signal: racers
+// poll `Expired()` at their natural checkpoints (the simulator between
+// rounds, sequential solvers at phase boundaries / every few thousand heap
+// pops) and wind down early when it fires. It never interrupts anything —
+// a solver observing an expired token returns whatever partial output it
+// has, and the pipeline reports the result as cancelled instead of
+// validating a half-built forest as feasible.
+//
+// Tokens compose: a deadline (`SetDeadlineAfterMs`) arms a steady-clock
+// expiry, `Cancel()` fires immediately (the portfolio's loser kill), and a
+// parent pointer chains an inner token to an outer one (a portfolio member
+// expires when either its own race is decided or the whole solve's deadline
+// passes). Flag and deadline are atomics so any number of racers may poll
+// while one coordinator fires; the parent link must be set before the token
+// is shared.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dsf {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Fires the token immediately. Thread-safe, idempotent.
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Arms (or re-arms) the deadline `ms` milliseconds from now; ms <= 0
+  // disarms. Thread-safe, but normally called once before sharing.
+  void SetDeadlineAfterMs(long ms) noexcept {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+    deadline_ns_.store(now_ns + ms * 1'000'000, std::memory_order_relaxed);
+  }
+
+  // Chains this token below `parent`: Expired() also reports true once the
+  // parent expires. Must be set before the token is shared across threads.
+  void SetParent(const CancelToken* parent) noexcept { parent_ = parent; }
+
+  // True once cancelled, past the deadline, or the parent expired. The
+  // deadline branch reads the clock, so poll at checkpoint granularity
+  // (between rounds / phases), not per element.
+  [[nodiscard]] bool Expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+          d) {
+        return true;
+      }
+    }
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // steady-clock ns; 0 = unarmed
+  const CancelToken* parent_ = nullptr;       // set before sharing
+};
+
+// Null-safe poll helper for the `const CancelToken*` knobs threaded through
+// options structs.
+[[nodiscard]] inline bool IsCancelled(const CancelToken* token) noexcept {
+  return token != nullptr && token->Expired();
+}
+
+}  // namespace dsf

@@ -521,6 +521,13 @@ bool Network::Step() {
 
 RunStats Network::Run(long max_rounds) {
   while (round_ < max_rounds) {
+    // The round boundary is the simulator's cancellation checkpoint: a
+    // cancelled run keeps every bit delivered so far (stats stay truthful)
+    // but stops paying for rounds a portfolio loser no longer needs.
+    if (options_.cancel != nullptr && options_.cancel->Expired()) {
+      stats_.cancelled = true;
+      return stats_;
+    }
     if (!Step()) return stats_;
   }
   stats_.hit_round_limit = true;

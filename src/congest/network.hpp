@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/check.hpp"
 #include "common/random.hpp"
 #include "congest/message.hpp"
@@ -73,6 +74,9 @@ struct NetworkOptions {
   // Worker threads for phase (i). 0 = auto (hardware concurrency, capped);
   // 1 = sequential fallback (no pool). Values <= 1 run inline.
   int threads = 0;
+  // Cooperative cancellation: Run() polls this between rounds and returns
+  // early (stats.cancelled set) once it expires. Borrowed; may be nullptr.
+  const CancelToken* cancel = nullptr;
 };
 
 // Per-node view handed to programs each round. Local: the node knows its id,
@@ -163,6 +167,7 @@ struct RunStats {
   long charged_rounds = 0;  // extra rounds charged for substituted subroutines
   long phases = 0;          // algorithm phases reported via NodeApi::NotePhases
   bool hit_round_limit = false;
+  bool cancelled = false;   // run stopped early by NetworkOptions::cancel
 };
 
 namespace detail {

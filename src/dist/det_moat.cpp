@@ -355,6 +355,12 @@ DetMoatResult RunDistributedMoat(const Graph& g, const IcInstance& ic,
   result.dual_sum = root.schedule.dual_sum;
   result.phases = root.schedule.merge_phases;
   result.checkpoints = root.schedule.growth_phases;
+  // A cancelled run holds a partial (possibly infeasible) mark set; hand it
+  // back raw — the pipeline reports `cancelled` and validation decides.
+  if (result.stats.cancelled) {
+    result.forest = root.raw_edges;
+    return result;
+  }
   // Minimal-subforest extraction: centralized substitute for the token
   // routing of Appendix F.3 (DESIGN.md §7).
   result.forest = MinimalFeasibleSubforest(g, MakeMinimal(ic), root.raw_edges);

@@ -265,6 +265,12 @@ RepOutcome RunPipelineOnce(const Graph& g, const StaticKnowledge& known,
 
   // Stage-1 output: spanning forest of the token-marked edges.
   std::vector<EdgeId> forest = SpanningForestOf(g, net.MarkedEdges());
+  if (out.stats.cancelled) {
+    // Partial marks from a cancelled run: skip stage 2 and the minimal
+    // extraction — the caller reports `cancelled` and validation decides.
+    out.forest = std::move(forest);
+    return out;
+  }
 
   // Stage 2 (substituted, DESIGN.md "Substitutions"): components of each
   // input component's terminals that stage 1 left apart become the
@@ -349,6 +355,7 @@ void AccumulateStats(RunStats& into, const RunStats& rep) {
   into.charged_rounds += rep.charged_rounds;
   into.phases += rep.phases;
   into.hit_round_limit = into.hit_round_limit || rep.hit_round_limit;
+  into.cancelled = into.cancelled || rep.cancelled;
 }
 
 }  // namespace
@@ -380,6 +387,12 @@ RandomizedResult RunRandomizedSteinerForest(const Graph& g,
         DeriveSeed(seed, static_cast<std::uint64_t>(rep)));
     AccumulateStats(result.stats, out.stats);
     result.le_rounds += out.le_rounds;
+    if (out.stats.cancelled) {
+      // A cancelled repetition's partial forest may be infeasible yet
+      // cheap; never let it displace a completed repetition's result.
+      if (!have_best) result.forest = out.forest;
+      break;
+    }
     const Weight w = g.WeightOf(out.forest);
     if (!have_best || w < best_weight) {
       have_best = true;
@@ -420,6 +433,11 @@ RandomizedResult RunKhanBaseline(const Graph& g, const IcInstance& ic,
     result.le_rounds += out.le_rounds;
     result.reduced_terminals += out.reduced_terminals;
     combined.insert(combined.end(), out.forest.begin(), out.forest.end());
+    if (out.stats.cancelled) break;
+  }
+  if (result.stats.cancelled) {
+    result.forest = SpanningForestOf(g, std::move(combined));
+    return result;
   }
   result.forest = MinimalFeasibleSubforest(
       g, minimal, SpanningForestOf(g, std::move(combined)));

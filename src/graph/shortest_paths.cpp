@@ -37,7 +37,8 @@ std::vector<EdgeId> ShortestPathTree::PathTo(NodeId v) const {
   return path;
 }
 
-ShortestPathTree Dijkstra(const Graph& g, NodeId source) {
+ShortestPathTree Dijkstra(const Graph& g, NodeId source,
+                          const CancelToken* cancel) {
   const auto n = static_cast<std::size_t>(g.NumNodes());
   ShortestPathTree t;
   t.source = source;
@@ -50,7 +51,13 @@ ShortestPathTree Dijkstra(const Graph& g, NodeId source) {
   t.dist[static_cast<std::size_t>(source)] = 0;
   t.hops[static_cast<std::size_t>(source)] = 0;
   pq.push({0, 0, source});
+  std::size_t pops = 0;
   while (!pq.empty()) {
+    // Cancellation checkpoint every 4096 pops (same cadence as KruskalMst):
+    // the tree stays internally consistent, just incomplete.
+    if (cancel != nullptr && (++pops & 0xFFFu) == 0 && cancel->Expired()) {
+      break;
+    }
     const auto [d, h, u] = pq.top();
     pq.pop();
     if (d != t.dist[static_cast<std::size_t>(u)] ||

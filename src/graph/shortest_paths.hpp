@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
 
@@ -34,8 +35,13 @@ struct ShortestPathTree {
 };
 
 // Dijkstra from a single source. Ties between equal-weight paths are broken
-// toward fewer hops, then smaller predecessor id (deterministic).
-ShortestPathTree Dijkstra(const Graph& g, NodeId source);
+// toward fewer hops, then smaller predecessor id (deterministic). `cancel`
+// is a cooperative checkpoint polled every few thousand pops (a portfolio
+// loser must stop inside a whole-graph scan, not after it); an expired
+// token yields a PARTIAL tree — unsettled nodes keep kInfWeight — which the
+// caller must discard or report as cancelled.
+ShortestPathTree Dijkstra(const Graph& g, NodeId source,
+                          const CancelToken* cancel = nullptr);
 
 // Multi-source Dijkstra: dist = distance to the nearest source; `owner[v]`
 // identifies which source claimed v (ties broken by smaller source id). This

@@ -139,7 +139,10 @@ void AdmissionQueue::DispatchLoop() {
 
     if (error.empty()) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        cache_->Insert(batch[i].key, results[i]);
+        // A deadline-cut result reflects this machine's timing, not the
+        // request: serving it from cache would freeze one lucky (or
+        // unlucky) partial forever. Recompute on the next ask instead.
+        if (!results[i].cancelled) cache_->Insert(batch[i].key, results[i]);
         RecordLatency(results[i].solver, results[i].wall_ms);
       }
     }

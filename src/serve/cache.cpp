@@ -62,6 +62,10 @@ void HashUnitInto(Fnv1a& h, const SolveRequest& request, std::uint64_t seed) {
   h.U64(std::bit_cast<std::uint64_t>(eps));
   h.I64(request.options.repetitions);
   h.Byte(request.options.prune ? 1 : 0);
+  // Deadline-truncated units must never share entries with unbounded runs
+  // of the same spec (the roster/mode knobs are already covered by the
+  // canonical solver string above).
+  h.I64(request.options.deadline_ms);
   h.Byte(kTagSeed);
   h.U64(seed);
 }

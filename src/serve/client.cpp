@@ -13,6 +13,7 @@
 
 #include "common/text.hpp"
 #include "serve/sockets.hpp"
+#include "solve/solver_spec.hpp"
 
 namespace dsf {
 
@@ -105,10 +106,9 @@ std::string BuildClientRequest(const ClientArgs& args) {
     if (!args.solvers.empty()) {
       json.Key("solvers");
       json.BeginArray();
-      std::istringstream names(args.solvers);
-      std::string name;
-      while (std::getline(names, name, ',')) {
-        if (!name.empty()) json.String(name);
+      // Paren-aware split: portfolio(...) specs carry commas of their own.
+      for (const std::string& spec : SplitSolverList(args.solvers)) {
+        json.String(spec);
       }
       json.EndArray();
     }
@@ -125,6 +125,10 @@ std::string BuildClientRequest(const ClientArgs& args) {
     if (args.repetitions != 1) {
       json.Key("repetitions");
       json.Int(args.repetitions);
+    }
+    if (args.deadline_ms > 0) {
+      json.Key("deadline_ms");
+      json.Int(args.deadline_ms);
     }
     if (!args.prune) {
       json.Key("prune");

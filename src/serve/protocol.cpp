@@ -12,6 +12,7 @@
 #include "common/random.hpp"
 #include "graph/properties.hpp"
 #include "solve/solver.hpp"
+#include "solve/solver_spec.hpp"
 #include "workload/spec.hpp"
 
 namespace dsf {
@@ -129,7 +130,7 @@ struct SolvePlan {
   SolveOptions options;
 };
 
-SolvePlan ParseSolve(const JsonValue& req) {
+SolvePlan ParseSolve(const ServeContext& ctx, const JsonValue& req) {
   SolvePlan plan;
   const std::string text = RequestSpecText(req);
   std::istringstream in(text);
@@ -159,15 +160,20 @@ SolvePlan ParseSolve(const JsonValue& req) {
       plan.solvers.push_back(s.string);
     }
   }
+  // Precedence mirrors the one-shot CLI: request "solvers" beats the spec's
+  // `as` directive beats every registered solver.
+  if (plan.solvers.empty()) plan.solvers = plan.spec.solvers;
   if (plan.solvers.empty()) {
     for (const auto name : SolverRegistry::Names()) {
       plan.solvers.emplace_back(name);
     }
   }
-  for (const std::string& name : plan.solvers) {
-    if (SolverRegistry::Find(name) == nullptr) {
-      throw std::runtime_error("unknown solver '" + name + "'");
-    }
+  for (std::string& name : plan.solvers) {
+    // Canonicalize before hashing: every spelling of the same portfolio
+    // configuration must land on the same cache key.
+    std::string why;
+    if (!IsValidSolverSpec(name, &why)) throw std::runtime_error(why);
+    name = ParseSolverSpec(name).Canonical();
   }
 
   const double epsilon = req.GetNumber("epsilon", 0.0);
@@ -179,6 +185,16 @@ SolvePlan ParseSolve(const JsonValue& req) {
       GetInteger(req, "repetitions", 1, 1 << 20).value_or(1));
   plan.options.prune = req.GetBool("prune", true);
   plan.options.validate = true;
+  // Anytime deadline: tightest of the request's ask and the server-wide cap
+  // (--deadline-ms), so the admission queue truncates long-running units
+  // instead of holding a BatchEngine slot indefinitely.
+  plan.options.deadline_ms = static_cast<int>(
+      GetInteger(req, "deadline_ms", 0, 86'400'000).value_or(0));
+  if (ctx.max_deadline_ms > 0 && (plan.options.deadline_ms == 0 ||
+                                  ctx.max_deadline_ms <
+                                      plan.options.deadline_ms)) {
+    plan.options.deadline_ms = ctx.max_deadline_ms;
+  }
   return plan;
 }
 
@@ -198,6 +214,10 @@ void WriteUnitResult(JsonWriter& json, const WorkloadCase& wc,
   json.Int(static_cast<long long>(r.weight));
   json.Key("feasible");
   json.Bool(r.feasible);
+  if (r.cancelled) {
+    json.Key("cancelled");
+    json.Bool(true);
+  }
   json.Key("edges");
   json.BeginArray();
   for (const EdgeId e : r.forest) json.Int(e);
@@ -216,7 +236,7 @@ void WriteUnitResult(JsonWriter& json, const WorkloadCase& wc,
 std::string HandleSolve(ServeContext& ctx, const JsonValue& req,
                         const std::string& id) {
   const auto start = std::chrono::steady_clock::now();
-  const SolvePlan plan = ParseSolve(req);
+  const SolvePlan plan = ParseSolve(ctx, req);
   const Workload workload = ExpandWorkload(plan.spec);
   for (const WorkloadCase& wc : workload.cases) {
     if (!IsConnected(wc.graph)) {

@@ -12,8 +12,14 @@
 //                                      "grid rows=4 cols=4" plus an optional
 //                                      "<sampler> [k=v ...]" instance draw
 //                                      (default "random-ic k=2 tpc=2"),
-//    "solvers":[STR...]?             — default: every registered solver,
+//    "solvers":[STR...]?             — solver specs (names or
+//                                      portfolio(...) forms, canonicalized
+//                                      server-side); default: the spec's
+//                                      `as` directive, else every
+//                                      registered solver,
 //    "seed":N?                       — overrides the spec-level seed (>= 1),
+//    "deadline_ms":N?                — per-unit anytime deadline, capped by
+//                                      the server's --deadline-ms,
 //    "epsilon":X?, "repetitions":N?, "prune":BOOL?}
 //   {"op":"stats", "id":STR?}
 //   {"op":"ping", "id":STR?}
@@ -27,8 +33,8 @@
 //   {"id":..., "ok":true, "seed":N, "requests":N, "hits":N, "misses":N,
 //    "coalesced":N, "wall_ms":X, "results":[
 //      {"solver":S,"case":C,"instance":I,"input":"ic"|"cr","weight":W,
-//       "feasible":B,"edges":[...],"rounds":N,"messages":N,"wall_ms":X,
-//       "cached":B}, ...]}
+//       "feasible":B,"cancelled":true?,"edges":[...],"rounds":N,
+//       "messages":N,"wall_ms":X,"cached":B}, ...]}
 //   {"id":..., "ok":false, "error":STR}            — parse/validation errors
 //   {"id":..., "ok":false, "error":"overloaded", "queue_depth":N}
 //
@@ -55,6 +61,9 @@ namespace dsf {
 struct ServeContext {
   ResultCache* cache = nullptr;
   AdmissionQueue* queue = nullptr;
+  // Server-wide cap on the per-unit anytime deadline (ServeOptions); 0 =
+  // uncapped. Requests run under min-of-nonzero(request, cap).
+  int max_deadline_ms = 0;
   std::chrono::steady_clock::time_point started =
       std::chrono::steady_clock::now();
 };

@@ -34,6 +34,7 @@ Server::Server(ServeOptions options) : LineEndpoint(EndpointOptions(options)) {
   queue_ = std::make_unique<AdmissionQueue>(cache_.get(), aopt);
   context_.cache = cache_.get();
   context_.queue = queue_.get();
+  context_.max_deadline_ms = options.deadline_ms;
   context_.started = std::chrono::steady_clock::now();
   if (!options.fault_spec.empty()) Fault().Configure(options.fault_spec);
 }

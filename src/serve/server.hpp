@@ -30,6 +30,10 @@ struct ServeOptions {
   int max_pending = 1024;    // admission bound (queued + running units)
   std::size_t cache_entries = 4096;
   int cache_shards = 8;
+  // Server-wide anytime deadline cap in wall ms (0 = none): every unit runs
+  // under min-of-nonzero(request deadline, this) so one slow unit cannot
+  // hold a BatchEngine slot indefinitely.
+  int deadline_ms = 0;
   // One request line must fit in memory; longer lines fail the connection.
   std::size_t max_line_bytes = 4u << 20;
   // Per-connection socket deadlines (listener.hpp); <= 0 disables one.

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
+#include <exception>
 #include <sstream>
+#include <thread>
 
 #include "dist/det_moat.hpp"
 #include "dist/randomized.hpp"
 #include "dist/transform.hpp"
+#include "solve/solver_spec.hpp"
 #include "steiner/exact.hpp"
+#include "steiner/greedy.hpp"
+#include "steiner/local_search.hpp"
 #include "steiner/mst.hpp"
 #include "steiner/prune.hpp"
 #include "steiner/validate.hpp"
@@ -45,11 +51,13 @@ class GwMoatSolver final : public Solver {
                             std::uint64_t) const override {
     MoatOptions mopt;
     mopt.epsilon = options.epsilon;
+    mopt.cancel = options.cancel;
     auto res = CentralizedMoatGrowing(g, ic, mopt);
     SolverOutput out;
     out.forest = std::move(res.forest);
     out.dual_sum = res.dual_sum;
     out.phases = res.merge_phases;
+    out.cancelled = res.cancelled;
     return out;
   }
 };
@@ -62,12 +70,63 @@ class MstPruneSolver final : public Solver {
   }
   bool Distributed() const noexcept override { return false; }
   SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
-                            const SolveOptions&,
+                            const SolveOptions& options,
                             std::uint64_t) const override {
     SolverOutput out;
+    std::vector<EdgeId> mst = KruskalMst(g, options.cancel);
+    if (IsCancelled(options.cancel)) {
+      out.forest = std::move(mst);
+      out.cancelled = true;
+      return out;
+    }
     // The prune is the algorithm here, not post-processing: an unpruned MST
     // spans every node of the graph.
-    out.forest = MinimalFeasibleSubforest(g, ic, KruskalMst(g));
+    out.forest = MinimalFeasibleSubforest(g, ic, mst);
+    return out;
+  }
+};
+
+class GreedyMergeSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "greedy-merge"; }
+  std::string_view Description() const noexcept override {
+    return "gluttonous greedy: merge the two closest active clusters "
+           "(Gupta-Kumar)";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t) const override {
+    GreedyOptions gopt;
+    gopt.cancel = options.cancel;
+    auto res = GluttonousSteinerForest(g, ic, gopt);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.phases = res.merges;
+    out.cancelled = res.cancelled;
+    return out;
+  }
+};
+
+class LocalSearchSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "local-search"; }
+  std::string_view Description() const noexcept override {
+    return "add/remove/swap local search over a feasible forest (Gross et "
+           "al.); warm-startable";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t) const override {
+    LocalSearchOptions lopt;
+    lopt.cancel = options.cancel;
+    if (!options.warm_start.empty()) lopt.warm_start = &options.warm_start;
+    auto res = LocalSearchSteinerForest(g, ic, lopt);
+    SolverOutput out;
+    out.forest = std::move(res.forest);
+    out.phases = res.passes;
+    out.cancelled = res.cancelled;
     return out;
   }
 };
@@ -134,18 +193,184 @@ class DistKhanSolver final : public Solver {
   }
 };
 
-// Canonical registration order — also the order Names() reports and the CLI
-// runs under `--solvers all`.
-const std::array<const Solver*, 6>& Table() {
+// Races a roster of registry solvers per unit on a RoundPool and returns
+// the cheapest feasible candidate (DESIGN.md §3 "Portfolio racing &
+// cancellation"). Members run with net.threads = 1 (no nested simulator
+// pools); the pool's width is SolveOptions::net.threads. mode=all runs
+// every member to completion and picks by (weight, registry order) — the
+// result is bit-identical across every racing width. mode=first CASes the
+// first feasible finisher into the winner slot and cancels the rest via a
+// shared token; any feasible member output is a valid answer, which is
+// what makes the non-deterministic mode safe to serve (and to cache).
+class PortfolioSolver final : public Solver {
+ public:
+  std::string_view Name() const noexcept override { return "portfolio"; }
+  std::string_view Description() const noexcept override {
+    return "races a solver roster per unit; cheapest feasible forest wins "
+           "(mode=all deterministic, mode=first lowest-latency)";
+  }
+  bool Distributed() const noexcept override { return false; }
+  SolverOutput SolveMinimal(const Graph& g, const IcInstance& ic,
+                            const SolveOptions& options,
+                            std::uint64_t seed) const override;
+};
+
+// Canonical registration order — also the order Names() reports, the CLI
+// runs under `--solvers all`, and the portfolio's mode=all tie-break.
+const std::array<const Solver*, 9>& Table() {
   static const ExactSolver exact;
   static const GwMoatSolver gw;
   static const MstPruneSolver mst;
+  static const GreedyMergeSolver greedy;
+  static const LocalSearchSolver local;
   static const DistDetSolver det;
   static const DistRandSolver rand;
   static const DistKhanSolver khan;
-  static const std::array<const Solver*, 6> table{&exact, &gw,   &mst,
-                                                  &det,   &rand, &khan};
+  static const PortfolioSolver portfolio;
+  static const std::array<const Solver*, 9> table{
+      &exact, &gw, &mst, &greedy, &local, &det, &rand, &khan, &portfolio};
   return table;
+}
+
+int TableIndex(std::string_view name) {
+  const auto& table = Table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i]->Name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SolverOutput PortfolioSolver::SolveMinimal(const Graph& g,
+                                           const IcInstance& ic,
+                                           const SolveOptions& options,
+                                           std::uint64_t seed) const {
+  // Resolve the roster — already canonicalized when the request came
+  // through the pipeline's spec parser; defaulted here for direct calls.
+  std::vector<std::string> roster = options.roster;
+  if (roster.empty()) {
+    for (const std::string_view name : kDefaultPortfolioRoster) {
+      roster.emplace_back(name);
+    }
+  }
+  const int count = static_cast<int>(roster.size());
+  struct Member {
+    const Solver* solver = nullptr;
+    int registry_index = 0;
+  };
+  std::vector<Member> members;
+  members.reserve(static_cast<std::size_t>(count));
+  for (const std::string& name : roster) {
+    DSF_CHECK_MSG(name != "portfolio", "portfolio cannot nest itself");
+    members.push_back({&SolverRegistry::Get(name), TableIndex(name)});
+  }
+
+  // Racing width: net.threads (0 = hardware concurrency), never wider than
+  // the roster.
+  int width = options.net.threads;
+  if (width <= 0) {
+    width = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  width = std::min(width, count);
+
+  struct Candidate {
+    SolverOutput out;
+    Weight weight = 0;
+    bool feasible = false;
+    bool valid = false;  // member returned (did not throw)
+  };
+  std::vector<Candidate> candidates(static_cast<std::size_t>(count));
+  // mode=first coordination: the shared race token chains below the
+  // caller's token, so a member expires when the race is decided OR the
+  // whole solve's deadline passes.
+  CancelToken race;
+  race.SetParent(options.cancel);
+  std::atomic<int> first_winner{-1};
+
+  const auto run_member = [&](int i, int /*executor*/) {
+    Candidate& cand = candidates[static_cast<std::size_t>(i)];
+    try {
+      SolveOptions mo = options;
+      mo.roster.clear();
+      mo.race_first = false;
+      mo.deadline_ms = 0;  // the pipeline's deadline already wraps `cancel`
+      const CancelToken* token = options.race_first ? &race : options.cancel;
+      mo.cancel = token;
+      mo.net.cancel = token;
+      mo.net.threads = 1;  // no nested simulator pools under the racer
+      // The unit seed goes to every member unchanged: mode=all equals the
+      // min-cost over standalone runs, and editing the roster never
+      // reshuffles another member's random stream.
+      SolverOutput o =
+          members[static_cast<std::size_t>(i)].solver->SolveMinimal(g, ic, mo,
+                                                                    seed);
+      // Feasibility decides by the forest alone: an anytime member
+      // (local-search) may be cancelled yet still hold a feasible
+      // incumbent, which remains a full-fledged candidate.
+      cand.feasible = IsFeasible(g, ic, o.forest);
+      if (cand.feasible && options.prune && !o.forest.empty()) {
+        o.forest = MinimalFeasibleSubforest(g, ic, o.forest);
+      }
+      cand.weight = g.WeightOf(o.forest);
+      cand.out = std::move(o);
+      cand.valid = true;
+      if (cand.feasible && options.race_first) {
+        int expected = -1;
+        if (first_winner.compare_exchange_strong(expected, i)) {
+          race.Cancel();  // losers stop at their next checkpoint
+        }
+      }
+    } catch (const std::exception&) {
+      // A cancelled racer can trip an internal invariant mid-teardown; a
+      // throwing member simply fields no candidate.
+      cand.valid = false;
+    }
+  };
+
+  if (width <= 1 || count <= 1) {
+    for (int i = 0; i < count; ++i) run_member(i, 0);
+  } else {
+    detail::RoundPool pool(width);
+    pool.ParallelFor(count, run_member);
+  }
+
+  // mode=first: the member that fired the CAS wins outright.
+  int pick = options.race_first ? first_winner.load() : -1;
+  if (pick < 0) {
+    // mode=all (and the nobody-finished fallback): cheapest feasible
+    // candidate, ties to the earliest registry entry — deterministic
+    // across every racing width.
+    for (int i = 0; i < count; ++i) {
+      const Candidate& c = candidates[static_cast<std::size_t>(i)];
+      if (!c.valid || !c.feasible) continue;
+      if (pick < 0) {
+        pick = i;
+        continue;
+      }
+      const Candidate& best = candidates[static_cast<std::size_t>(pick)];
+      if (c.weight < best.weight ||
+          (c.weight == best.weight &&
+           members[static_cast<std::size_t>(i)].registry_index <
+               members[static_cast<std::size_t>(pick)].registry_index)) {
+        pick = i;
+      }
+    }
+  }
+
+  if (pick < 0) {
+    // Nothing feasible (outer cancellation, typically): best-effort partial
+    // from the first member that returned at all, reported cancelled.
+    SolverOutput out;
+    for (Candidate& c : candidates) {
+      if (c.valid) {
+        out = std::move(c.out);
+        break;
+      }
+    }
+    out.cancelled = true;
+    return out;
+  }
+  return std::move(candidates[static_cast<std::size_t>(pick)].out);
 }
 
 }  // namespace
@@ -181,13 +406,38 @@ namespace {
 // point patches the scheduler field without touching the caller's request.
 SolveResult SolveImpl(const SolveRequest& request, std::uint64_t seed,
                       SolveOptions options) {
-  const Solver& solver = SolverRegistry::Get(request.solver);
+  const SolverSpec spec = ParseSolverSpec(request.solver);
+  const Solver& solver = SolverRegistry::Get(spec.base);
   DSF_CHECK_MSG(request.graph != nullptr && request.graph->Finalized(),
                 "SolveRequest needs a finalized graph");
   const Graph& g = *request.graph;
 
+  // Portfolio knobs from the spec; explicitly-set options win so the
+  // convenience API can pass a roster without spelling a spec string.
+  if (spec.IsPortfolio()) {
+    if (options.roster.empty()) options.roster = spec.roster;
+    options.race_first = options.race_first || spec.mode == "first";
+  }
+  // Deadline: tightest of the option and the spec (both in wall ms). The
+  // token lives on this frame and chains below any caller-provided token,
+  // so external cancellation still fires under a generous deadline.
+  int deadline_ms = options.deadline_ms;
+  if (spec.deadline_ms > 0 &&
+      (deadline_ms == 0 || spec.deadline_ms < deadline_ms)) {
+    deadline_ms = spec.deadline_ms;
+  }
+  CancelToken deadline_token;
+  if (deadline_ms > 0) {
+    deadline_token.SetParent(options.cancel);
+    deadline_token.SetDeadlineAfterMs(deadline_ms);
+    options.cancel = &deadline_token;
+    options.deadline_ms = 0;  // consumed; cores see only the token
+  }
+  if (options.net.cancel == nullptr) options.net.cancel = options.cancel;
+  const bool cancellable = options.cancel != nullptr;
+
   SolveResult result;
-  result.solver = std::string(solver.Name());
+  result.solver = spec.Canonical();
 
   // CR input: the distributed Lemma 2.3 transform turns pairwise requests
   // into input components; its rounds/messages/bits are reported separately
@@ -208,7 +458,11 @@ SolveResult SolveImpl(const SolveRequest& request, std::uint64_t seed,
 
   const auto start = std::chrono::steady_clock::now();
   SolverOutput core = solver.SolveMinimal(g, minimal, options, seed);
-  if (options.prune && !core.forest.empty()) {
+  // A cancelled core may hand back an infeasible partial forest, which the
+  // minimal-subforest extraction rejects by contract — gate the prune on
+  // feasibility whenever cancellation was in play.
+  if (options.prune && !core.forest.empty() &&
+      (!cancellable || IsFeasible(g, minimal, core.forest))) {
     core.forest = MinimalFeasibleSubforest(g, minimal, core.forest);
   }
   const auto stop = std::chrono::steady_clock::now();
@@ -221,6 +475,7 @@ SolveResult SolveImpl(const SolveRequest& request, std::uint64_t seed,
   result.stats = core.stats;
   result.dual_lower_bound = core.dual_sum;
   result.phases = core.phases;
+  result.cancelled = core.cancelled || core.stats.cancelled;
 
   if (options.validate) {
     result.validated = true;

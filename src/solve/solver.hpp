@@ -3,12 +3,16 @@
 // protocols — sits behind one `Solver` interface, reachable by name through
 // the static `SolverRegistry`:
 //
-//   exact      partition DP + Dreyfus–Wagner (ground truth, small instances)
-//   gw-moat    centralized moat growing (Agrawal–Klein–Ravi / GW primal-dual)
-//   mst-prune  Kruskal MST pruned to the terminal components (baseline)
-//   dist-det   distributed deterministic moat growing (Theorem 4.17)
-//   dist-rand  distributed randomized tree embedding (Theorem 5.2)
-//   dist-khan  per-component selection baseline (Khan et al. style)
+//   exact         partition DP + Dreyfus–Wagner (ground truth, small instances)
+//   gw-moat       centralized moat growing (Agrawal–Klein–Ravi / GW primal-dual)
+//   mst-prune     Kruskal MST pruned to the terminal components (baseline)
+//   greedy-merge  gluttonous greedy (Gupta–Kumar, arXiv:1412.7693)
+//   local-search  move-based local search (Groß et al., arXiv:1707.02753)
+//   dist-det      distributed deterministic moat growing (Theorem 4.17)
+//   dist-rand     distributed randomized tree embedding (Theorem 5.2)
+//   dist-khan     per-component selection baseline (Khan et al. style)
+//   portfolio     races a roster of the above per unit, returns the cheapest
+//                 feasible forest (spec syntax: solve/solver_spec.hpp)
 //
 // A `SolveRequest` flows through the shared pipeline (`Solve`): the
 // distributed CR→IC transform when the input is given as connection
@@ -47,15 +51,37 @@ struct SolveOptions {
   // Subject to the exact solver's hard limits — small instances only.
   bool compute_reference = false;
   // Simulator scheduling for the distributed solvers (active-set / threads);
-  // every setting is bit-identical, see DESIGN.md §2.
+  // every setting is bit-identical, see DESIGN.md §2. The portfolio also
+  // reads net.threads as its racing width (members themselves run their
+  // simulators single-threaded — no nested pools).
   NetworkOptions net;
+  // Anytime deadline for the whole solve in wall milliseconds (0 = none):
+  // the pipeline arms a CancelToken and the solver winds down at its next
+  // checkpoint, returning its best partial output (SolveResult::cancelled).
+  int deadline_ms = 0;
+  // External cooperative cancellation (serve admission, portfolio racing).
+  // Borrowed; must outlive the solve. Combined with deadline_ms when both
+  // are set. May be nullptr.
+  const CancelToken* cancel = nullptr;
+  // Portfolio knobs, normally populated from a parsed `portfolio(...)`
+  // spec (solve/solver_spec.hpp); ignored by every other solver. An empty
+  // roster means the default (kDefaultPortfolioRoster).
+  std::vector<std::string> roster;
+  bool race_first = false;  // mode=first: cancel losers at first feasible
+  // Warm start for local-search: a feasible forest to refine instead of
+  // building the Kruskal-prune seed (the incremental/online hook). Empty =
+  // cold start.
+  std::vector<EdgeId> warm_start;
 };
 
 // One unit of work: a graph, an instance in either input form (Definition
 // 2.1 / 2.2), options, and a seed. The graph is borrowed, not owned — it
 // must outlive the request (batches share one topology across requests).
 struct SolveRequest {
-  std::string solver;           // registry name, e.g. "dist-det"
+  // Registry name ("dist-det") or a parameterized spec
+  // ("portfolio(roster=gw-moat+greedy-merge,mode=first)"); parsed and
+  // canonicalized by the pipeline — see solve/solver_spec.hpp.
+  std::string solver;
   const Graph* graph = nullptr; // finalized; must outlive the request
   IcInstance ic;                // used when !use_cr
   CrInstance cr;                // used when use_cr
@@ -82,6 +108,11 @@ struct SolveResult {
   long transform_messages = 0;
   long transform_bits = 0;
   double wall_ms = 0.0;          // solver core wall time (excl. validation)
+  // The solve was stopped early by a deadline or cancellation; the forest
+  // is the solver's best partial output (feasible iff `feasible` says so —
+  // the anytime solvers keep a feasible incumbent, constructive ones may
+  // not).
+  bool cancelled = false;
 };
 
 // What a solver core hands back to the pipeline, before pruning /
@@ -91,6 +122,7 @@ struct SolverOutput {
   RunStats stats;
   Fixed dual_sum = 0;
   int phases = 0;
+  bool cancelled = false;  // core stopped at a cancellation checkpoint
 };
 
 // One algorithm family. Implementations are stateless singletons owned by

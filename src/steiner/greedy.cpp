@@ -1,0 +1,193 @@
+#include "steiner/greedy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "graph/union_find.hpp"
+
+namespace dsf {
+
+namespace {
+
+// Early-exit multi-source Dijkstra out of one cluster: returns the first
+// settled node owned by a foreign terminal cluster (and its distance), or
+// kNoNode when none is reachable. `dist`/`parent`/`stamp` are caller-owned
+// scratch reused across calls via the version counter `cur` (no O(n) clear
+// per merge); the caller walks `parent` afterwards to realize the path.
+struct Probe {
+  NodeId target = kNoNode;
+  Weight dist = kInfWeight;
+  bool cancelled = false;
+};
+
+Probe NearestForeignCluster(const Graph& g, const std::vector<NodeId>& sources,
+                            UnionFind& uf, int home,
+                            const std::vector<char>& is_terminal_root,
+                            std::vector<Weight>& dist,
+                            std::vector<EdgeId>& parent,
+                            std::vector<std::uint32_t>& stamp,
+                            std::uint32_t cur, const CancelToken* cancel) {
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (const NodeId s : sources) {
+    const auto sz = static_cast<std::size_t>(s);
+    stamp[sz] = cur;
+    dist[sz] = 0;
+    parent[sz] = kNoEdge;
+    heap.push({0, s});
+  }
+  Probe probe;
+  std::size_t pops = 0;
+  while (!heap.empty()) {
+    if (cancel != nullptr && (++pops & 0xFFFu) == 0 && cancel->Expired()) {
+      probe.cancelled = true;
+      return probe;
+    }
+    const auto [d, v] = heap.top();
+    heap.pop();
+    const auto vz = static_cast<std::size_t>(v);
+    if (d > dist[vz]) continue;  // stale heap entry
+    const int root = uf.Find(v);
+    if (root != home && is_terminal_root[static_cast<std::size_t>(root)]) {
+      probe.target = v;
+      probe.dist = d;
+      return probe;
+    }
+    for (const auto& inc : g.Neighbors(v)) {
+      const Weight nd = d + g.GetEdge(inc.edge).w;
+      const auto nz = static_cast<std::size_t>(inc.neighbor);
+      if (stamp[nz] == cur && nd >= dist[nz]) continue;
+      stamp[nz] = cur;
+      dist[nz] = nd;
+      parent[nz] = inc.edge;
+      heap.push({nd, inc.neighbor});
+    }
+  }
+  return probe;
+}
+
+}  // namespace
+
+GreedyResult GluttonousSteinerForest(const Graph& g, const IcInstance& ic,
+                                     const GreedyOptions& options) {
+  DSF_CHECK(ic.NumNodes() == g.NumNodes());
+  const int n = g.NumNodes();
+  GreedyResult result;
+  const std::vector<NodeId> terminals = ic.Terminals();
+  if (terminals.size() < 2) return result;
+
+  std::map<Label, int> total;  // label -> total terminal count
+  for (const NodeId v : terminals) ++total[ic.LabelOf(v)];
+
+  UnionFind uf(n);
+  // Invariant: the node list of a cluster lives at members[current root]
+  // and holds exactly the cluster's nodes (terminals + realized path
+  // nodes). Everything else is empty.
+  std::vector<std::vector<NodeId>> members(static_cast<std::size_t>(n));
+  for (const NodeId v : terminals) {
+    members[static_cast<std::size_t>(v)] = {v};
+  }
+
+  // Dijkstra scratch (version-stamped, reused across merges).
+  std::vector<Weight> dist(static_cast<std::size_t>(n), 0);
+  std::vector<EdgeId> parent(static_cast<std::size_t>(n), kNoEdge);
+  std::vector<std::uint32_t> stamp(static_cast<std::size_t>(n), 0);
+  std::uint32_t cur = 0;
+
+  std::vector<char> is_terminal_root(static_cast<std::size_t>(n), 0);
+
+  for (;;) {
+    if (IsCancelled(options.cancel)) {
+      result.cancelled = true;
+      break;
+    }
+    // Classify clusters: per-root label counts decide activity; a root is
+    // active while some label is split across its cluster boundary. The
+    // std::map keeps roots in ascending order, which fixes every tie-break
+    // below.
+    std::map<int, std::map<Label, int>> counts;
+    for (const NodeId v : terminals) {
+      ++counts[uf.Find(v)][ic.LabelOf(v)];
+    }
+    std::fill(is_terminal_root.begin(), is_terminal_root.end(), 0);
+    std::vector<int> active;
+    for (const auto& [root, by_label] : counts) {
+      is_terminal_root[static_cast<std::size_t>(root)] = 1;
+      for (const auto& [label, c] : by_label) {
+        if (c < total[label]) {
+          active.push_back(root);
+          break;
+        }
+      }
+    }
+    if (active.empty()) break;  // all demands satisfied -> feasible
+
+    // Closest (active cluster, foreign terminal cluster) pair; strict <
+    // over ascending home roots keeps the selection deterministic.
+    Weight best_d = kInfWeight;
+    int best_home = -1;
+    for (const int home : active) {
+      ++cur;
+      const Probe p = NearestForeignCluster(
+          g, members[static_cast<std::size_t>(home)], uf, home,
+          is_terminal_root, dist, parent, stamp, cur, options.cancel);
+      if (p.cancelled) {
+        result.cancelled = true;
+        break;
+      }
+      if (p.target != kNoNode && p.dist < best_d) {
+        best_d = p.dist;
+        best_home = home;
+      }
+    }
+    if (result.cancelled) break;
+    DSF_CHECK_MSG(best_home >= 0,
+                  "gluttonous greedy: active cluster cannot reach any other "
+                  "terminal cluster — infeasible instance");
+
+    // Re-probe the winner to rebuild its parent tree (identical search,
+    // identical result), then realize the path union-guarded. Interior path
+    // nodes are fresh singletons: the search stops at the FIRST foreign
+    // terminal-cluster node, and every multi-node cluster is a terminal
+    // cluster, so nothing between the source and the target belongs to any
+    // cluster yet.
+    ++cur;
+    const Probe win = NearestForeignCluster(
+        g, members[static_cast<std::size_t>(best_home)], uf, best_home,
+        is_terminal_root, dist, parent, stamp, cur, options.cancel);
+    if (win.cancelled || win.target == kNoNode) {
+      result.cancelled = true;
+      break;
+    }
+    const int old_target_root = uf.Find(win.target);
+    std::vector<NodeId> fresh;  // interior path nodes (not in any cluster)
+    NodeId v = win.target;
+    while (parent[static_cast<std::size_t>(v)] != kNoEdge) {
+      const EdgeId e = parent[static_cast<std::size_t>(v)];
+      const auto& edge = g.GetEdge(e);
+      if (uf.Union(edge.u, edge.v)) result.forest.push_back(e);
+      if (v != win.target) fresh.push_back(v);
+      v = (edge.u == v) ? edge.v : edge.u;
+    }
+    // Restore the members invariant at the merged cluster's new root.
+    const int new_root = uf.Find(best_home);
+    std::vector<NodeId> merged;
+    merged.swap(members[static_cast<std::size_t>(best_home)]);
+    if (old_target_root != best_home) {
+      auto& tl = members[static_cast<std::size_t>(old_target_root)];
+      merged.insert(merged.end(), tl.begin(), tl.end());
+      tl.clear();
+      tl.shrink_to_fit();
+    }
+    merged.insert(merged.end(), fresh.begin(), fresh.end());
+    members[static_cast<std::size_t>(new_root)] = std::move(merged);
+    ++result.merges;
+  }
+
+  std::sort(result.forest.begin(), result.forest.end());
+  return result;
+}
+
+}  // namespace dsf

@@ -1,0 +1,53 @@
+// Local-search Steiner forest (Groß et al., arXiv:1707.02753).
+//
+// Starts from a feasible forest (the Kruskal-prune baseline, or a caller-
+// supplied warm start) and improves it by the paper's move families,
+// applied per forest edge in ascending edge-id order:
+//   * remove  — drop an edge whose removal keeps every input component
+//               connected (pure win);
+//   * swap    — if removal breaks demands, find the cheapest reconnection
+//               of the two sides in the metric where surviving forest
+//               edges cost 0, and take it when it is strictly cheaper.
+// Passes repeat until a fixed point (or the pass budget / cancellation).
+// Groß et al. prove constant-factor local optima for these moves; in this
+// codebase the solver doubles as the *anytime* member of the portfolio:
+// the incumbent is feasible after every accepted move, so a deadline can
+// stop it at any checkpoint and still return a valid forest — and the
+// warm-start hook is what the ROADMAP's incremental/online item builds on.
+#pragma once
+
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+struct LocalSearchOptions {
+  // Improvement passes over the forest edge list; a pass with no accepted
+  // move ends the search early.
+  int max_passes = 4;
+  // Optional warm start: a feasible, cycle-free forest to optimize instead
+  // of the Kruskal-prune seed. Borrowed; validated with a DSF_CHECK.
+  const std::vector<EdgeId>* warm_start = nullptr;
+  // Cooperative cancellation, polled per move. Unlike the constructive
+  // solvers, a cancelled local search still returns a FEASIBLE forest
+  // (the incumbent) unless the seed itself was cancelled mid-build.
+  const CancelToken* cancel = nullptr;
+};
+
+struct LocalSearchResult {
+  std::vector<EdgeId> forest;  // sorted; feasible unless seed was cancelled
+  int passes = 0;              // passes fully completed
+  long moves = 0;              // accepted improving moves
+  bool cancelled = false;      // stopped early by LocalSearchOptions::cancel
+};
+
+// Deterministic given (g, ic, options): move order is edge-id order and all
+// Dijkstra ties break by node id.
+LocalSearchResult LocalSearchSteinerForest(
+    const Graph& g, const IcInstance& ic,
+    const LocalSearchOptions& options = {});
+
+}  // namespace dsf

@@ -280,6 +280,10 @@ MoatSchedule ComputeMoatSchedule(std::span<const NodeId> terminals,
   while (book.AnyActive()) {
     DSF_CHECK_MSG(++iterations < 16L * merge_budget,
                   "moat growing failed to terminate");
+    // Merge events are the engine's phase boundaries — the cancellation
+    // checkpoints of the (2+ε) solver. A partial schedule realizes a
+    // partial forest; the caller reports it cancelled.
+    if (IsCancelled(options.cancel)) break;
     // Find the minimal growth µ at which two moats meet (lines 10-14).
     Fixed best_mu = -1;
     int best_i = -1;
@@ -376,7 +380,16 @@ MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
   // Exact terminal-terminal distances and path trees.
   std::vector<ShortestPathTree> trees;
   trees.reserve(static_cast<std::size_t>(t));
-  for (const NodeId v : terminals) trees.push_back(Dijkstra(g, v));
+  for (const NodeId v : terminals) {
+    if (IsCancelled(options.cancel)) {
+      result.cancelled = true;
+      return result;
+    }
+    // Cancellable: a loser stops mid-scan; the partial tree is harmless
+    // because ComputeMoatSchedule breaks before consuming any distance and
+    // the result is reported cancelled below.
+    trees.push_back(Dijkstra(g, v, options.cancel));
+  }
 
   std::vector<std::vector<Weight>> dist(
       static_cast<std::size_t>(t),
@@ -410,6 +423,12 @@ MoatResult CentralizedMoatGrowing(const Graph& g, const IcInstance& ic,
   result.dual_sum = schedule.dual_sum;
   result.merge_phases = schedule.merge_phases;
   result.growth_phases = schedule.growth_phases;
+  result.cancelled = IsCancelled(options.cancel);
+  if (result.cancelled) {
+    // The schedule may be partial; hand the raw forest back unpruned.
+    result.forest = raw;
+    return result;
+  }
   result.forest = MinimalFeasibleSubforest(g, inst, raw);
   return result;
 }

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/ids.hpp"
 #include "graph/graph.hpp"
 #include "steiner/instance.hpp"
@@ -154,6 +155,10 @@ class MoatBook {
 struct MoatOptions {
   // ε of Algorithm 2; epsilon == 0 runs Algorithm 1 (exact events).
   Real epsilon = 0.0L;
+  // Cooperative cancellation, polled per terminal Dijkstra and per merge
+  // event. A cancelled run returns the partial (possibly infeasible)
+  // forest with MoatResult::cancelled set. Borrowed; may be nullptr.
+  const CancelToken* cancel = nullptr;
 };
 
 struct MoatResult {
@@ -163,6 +168,7 @@ struct MoatResult {
   Fixed dual_sum = 0;      // lower bound on OPT (divide by 1+ε/2 for Alg. 2)
   int merge_phases = 0;    // jmax (Definition 4.3 / 4.19)
   int growth_phases = 0;   // gmax (Algorithm 2 only; 0 for Algorithm 1)
+  bool cancelled = false;  // stopped early by MoatOptions::cancel
 };
 
 // ---------------------------------------------------------------------------

@@ -8,13 +8,17 @@
 
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "graph/graph.hpp"
 
 namespace dsf {
 
 // Edge ids of a minimum spanning forest of g (deterministic tie-breaking by
-// edge id).
-std::vector<EdgeId> KruskalMst(const Graph& g);
+// edge id). Heap-based with early exit: stops after n-1 unions without
+// ordering the rest of the edge list. An expired `cancel` token stops the
+// pop loop within ~4096 edges and returns the partial forest.
+std::vector<EdgeId> KruskalMst(const Graph& g,
+                               const CancelToken* cancel = nullptr);
 
 // Total weight of the minimum spanning forest.
 Weight MstWeight(const Graph& g);

@@ -12,6 +12,7 @@
 
 #include "common/random.hpp"
 #include "common/text.hpp"
+#include "solve/solver_spec.hpp"
 #include "workload/generators.hpp"
 #include "workload/import.hpp"
 
@@ -213,6 +214,25 @@ WorkloadSpec ParseWorkloadSpec(std::istream& in, const std::string& origin) {
       no_trailing();
       st.spec.seed = static_cast<std::uint64_t>(value);
       st.seed_seen = true;
+    } else if (directive == "as") {
+      // Workload-level solver selection. Header position (like `seed`)
+      // keeps the directive unambiguous: inside a case block `as` is the
+      // aliasing token of generate/import lines.
+      if (st.Current() != nullptr) {
+        Fail(origin, line, "'as' must precede the first graph source");
+      }
+      if (!st.spec.solvers.empty()) {
+        Fail(origin, line, "duplicate 'as' directive");
+      }
+      std::string token;
+      while (fields >> token) {
+        std::string why;
+        if (!IsValidSolverSpec(token, &why)) Fail(origin, line, why);
+        st.spec.solvers.push_back(std::move(token));
+      }
+      if (st.spec.solvers.empty()) {
+        Fail(origin, line, "expected at least one solver spec after 'as'");
+      }
     } else if (directive == "graph") {
       CloseCase(st, line);
       const long long value = want_long("node count");

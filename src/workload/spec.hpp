@@ -8,6 +8,11 @@
 //
 //   seed <N>                  # workload-level master seed, >= 1 (default
 //                             #   1; the CLI's --seed overrides it)
+//   as <spec> [<spec> ...]    # default solver list of the workload:
+//                             #   registry names or parameterized specs like
+//                             #   portfolio(roster=gw-moat+greedy-merge,
+//                             #   mode=first); the CLI's --solvers overrides
+//                             #   it, absent both every solver runs
 //
 //   # graph sources — each opens a new case block:
 //   graph <n>                 # hand-written topology; nodes are 0..n-1
@@ -100,6 +105,9 @@ struct WorkloadSpec {
   std::string origin;    // for error messages
   std::string base_dir;  // directory import paths resolve against
   std::uint64_t seed = 1;
+  // Solver specs of the `as` directive, validated at parse time; empty when
+  // the workload does not pick its own solvers.
+  std::vector<std::string> solvers;
   std::vector<CaseSpec> cases;
 };
 

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "graph/generators.hpp"
+#include "solve/solver_spec.hpp"
 #include "steiner/instance.hpp"
 #include "steiner/validate.hpp"
 
@@ -19,13 +20,14 @@ namespace dsf {
 namespace {
 
 const std::vector<std::string_view> kAllSolvers{
-    "exact", "gw-moat", "mst-prune", "dist-det", "dist-rand", "dist-khan"};
+    "exact",        "gw-moat",  "mst-prune", "greedy-merge", "local-search",
+    "dist-det",     "dist-rand", "dist-khan", "portfolio"};
 
 IcInstance GridInstance() {
   return MakeIcInstance(16, {{0, 1}, {15, 1}, {3, 2}, {12, 2}});
 }
 
-TEST(SolverRegistryTest, KnowsAllSixFamilies) {
+TEST(SolverRegistryTest, KnowsAllNineFamilies) {
   EXPECT_EQ(SolverRegistry::Names(), kAllSolvers);
   for (const auto name : kAllSolvers) {
     const Solver* s = SolverRegistry::Find(name);
@@ -43,7 +45,8 @@ TEST(SolverRegistryTest, UnknownNameFailsLoudly) {
   EXPECT_THROW((void)SolverRegistry::Get("nope"), std::logic_error);
   SolveRequest req;
   req.solver = "nope";
-  EXPECT_THROW(Solve(req), std::logic_error);
+  // The pipeline rejects the name at the spec-parsing stage.
+  EXPECT_THROW(Solve(req), std::runtime_error);
 }
 
 TEST(SolvePipelineTest, UniformResultAcrossFamilies) {
@@ -54,7 +57,9 @@ TEST(SolvePipelineTest, UniformResultAcrossFamilies) {
   ASSERT_GT(opt, 0);
   for (const auto name : kAllSolvers) {
     const SolveResult res = Solve(name, g, ic);
-    EXPECT_EQ(res.solver, name);
+    // Result names are canonicalized specs — bare "portfolio" stringifies
+    // with its default roster spelled out.
+    EXPECT_EQ(res.solver, ParseSolverSpec(name).Canonical());
     EXPECT_TRUE(res.validated);
     EXPECT_TRUE(res.feasible) << name;
     EXPECT_TRUE(g.IsForest(res.forest)) << name;
@@ -178,6 +183,61 @@ TEST(SolverConsistencyTest, CrossSolverSweep) {
             << name << " seed=" << seed;
       }
     }
+  }
+}
+
+// Approximation quality of the new sequential solvers against the exact
+// optimum on instances inside the exact solver's limits (≤14 terminals).
+// The bounds are deliberately generous — they catch gross regressions
+// (a broken merge rule, a local search that accepts worsening moves), not
+// the theoretical constants.
+TEST(SolverQualityTest, SequentialSolversNearOptimum) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SplitMix64 grng(seed * 41 + 13);
+    const Graph g = MakeConnectedRandom(28, 0.2, 1, 25, grng);
+    SplitMix64 trng(seed * 57 + 29);
+    std::vector<std::pair<NodeId, Label>> assign;
+    std::vector<char> used(28, 0);
+    for (int c = 0; c < 4; ++c) {
+      for (int j = 0; j < 2; ++j) {
+        NodeId v = 0;
+        do {
+          v = static_cast<NodeId>(trng.NextBelow(28));
+        } while (used[static_cast<std::size_t>(v)]);
+        used[static_cast<std::size_t>(v)] = 1;
+        assign.push_back({v, static_cast<Label>(c + 1)});
+      }
+    }
+    const IcInstance ic = MakeIcInstance(28, assign);
+    const Weight opt = Solve("exact", g, ic).weight;
+    ASSERT_GT(opt, 0) << seed;
+
+    const SolveResult greedy = Solve("greedy-merge", g, ic);
+    EXPECT_TRUE(greedy.feasible) << seed;
+    EXPECT_LE(greedy.weight, 3 * opt) << seed;
+
+    const SolveResult local = Solve("local-search", g, ic);
+    EXPECT_TRUE(local.feasible) << seed;
+    EXPECT_LE(local.weight, 3 * opt) << seed;
+
+    // Local search must never worsen a warm start below feasibility or
+    // above its starting weight.
+    SolveOptions warm;
+    warm.warm_start = greedy.forest;
+    const SolveResult refined = Solve("local-search", g, ic, warm);
+    EXPECT_TRUE(refined.feasible) << seed;
+    EXPECT_LE(refined.weight, greedy.weight) << seed;
+
+    // mode=all portfolio: never worse than its best member.
+    const SolveResult port = Solve(
+        "portfolio(roster=gw-moat+mst-prune+greedy-merge+local-search)", g,
+        ic);
+    EXPECT_TRUE(port.feasible) << seed;
+    const Weight best_member =
+        std::min({Solve("gw-moat", g, ic).weight,
+                  Solve("mst-prune", g, ic).weight, greedy.weight,
+                  local.weight});
+    EXPECT_LE(port.weight, best_member) << seed;
   }
 }
 
