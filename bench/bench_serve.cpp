@@ -27,6 +27,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "solve/batch.hpp"
+#include "workload/churn.hpp"
 
 namespace dsf {
 namespace {
@@ -169,6 +170,206 @@ BENCHMARK(BM_ServeLoad)
     ->Args({8, 90})   // cache-dominated traffic
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// --- churn revise: warm vs cold ----------------------------------------------
+//
+// The incremental re-solve acceptance series: a stable grid topology under a
+// churn trace (each step retires one demand pair and admits one). The warm
+// chain sends `revise` requests — base = the previous response's key, delta
+// = the churn step — against one server; the cold series solves every state
+// from scratch against a *separate* server, so revise-inserted cache entries
+// cannot turn the cold measurements into hits. Acceptance: warm p95 beats
+// cold p95 by >= 2x at a warm/cold cost ratio <= 1.05.
+
+constexpr int kChurnRows = 40;
+constexpr int kChurnCols = 40;
+constexpr int kChurnPairs = 24;  // churn=1 -> 1/24 of pairs per delta (<10%)
+constexpr int kChurnSteps = 120;
+constexpr std::uint64_t kChurnSeed = 17;
+
+// Spec text framing one churn state: the stable generated grid plus the
+// state's explicit terminal lines (a generated graph keeps the request
+// small, so spec parsing does not dilute the warm/cold solver-time
+// separation). Cold solves of state k and revises of (state k-1 + step
+// k-1) meet at the same canonical key through this framing.
+std::string ChurnStateSpec(const IcInstance& state) {
+  std::ostringstream os;
+  os << "seed 11\n"
+     << "generate grid rows=" << kChurnRows << " cols=" << kChurnCols
+     << " min_w=1 max_w=9 salt=3\n"
+     << "ic churned\n";
+  for (NodeId v = 0; v < state.NumNodes(); ++v) {
+    if (state.IsTerminal(v)) {
+      os << "terminal " << v << " " << state.LabelOf(v) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string ChurnSolveLine(const std::string& spec) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("op");
+  json.String("solve");
+  json.Key("spec");
+  json.String(spec);
+  json.Key("solvers");
+  json.BeginArray();
+  json.String("local-search");
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+std::string ChurnReviseLine(const std::string& base_spec,
+                            const std::string& base_key,
+                            const ChurnStep& step) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("op");
+  json.String("revise");
+  json.Key("spec");
+  json.String(base_spec);
+  json.Key("solvers");
+  json.BeginArray();
+  json.String("local-search");
+  json.EndArray();
+  json.Key("base");
+  json.String(base_key);
+  json.Key("delta");
+  json.BeginObject();
+  json.Key("remove_terminals");
+  json.BeginArray();
+  for (const NodeId v : step.remove_terminals) json.Int(v);
+  json.EndArray();
+  json.Key("add_terminals");
+  json.BeginArray();
+  for (const auto& [node, label] : step.add_terminals) {
+    json.BeginArray();
+    json.Int(node);
+    json.Int(label);
+    json.EndArray();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.EndObject();
+  return os.str();
+}
+
+void BM_ChurnRevise(benchmark::State& state) {
+  const ChurnTrace trace =
+      SampleChurnTrace(kChurnRows * kChurnCols, 0, kChurnPairs, kChurnSteps,
+                       1, kChurnSeed);
+
+  for (auto _ : state) {
+    std::vector<double> warm_ms, cold_ms;
+    std::vector<Weight> warm_weight(kChurnSteps, 0), cold_weight(kChurnSteps, 0);
+    int errors = 0;
+    int warm_taken = 0;
+
+    // Warm chain: seed solve of state 0, then one revise per churn step,
+    // each basing on the key the previous response returned.
+    {
+      ServeOptions options;
+      options.threads = 2;
+      Server server(options);
+      server.Start();
+      ClientConnection conn("127.0.0.1", server.Port());
+      const JsonValue seed_solve =
+          conn.RoundTrip(ChurnSolveLine(ChurnStateSpec(trace.base)));
+      std::string key = seed_solve.GetBool("ok", false)
+                            ? seed_solve.Find("results")->array[0].GetString(
+                                  "key", "")
+                            : "";
+      if (key.size() != 32) ++errors;
+      for (int k = 0; k < kChurnSteps && !key.empty(); ++k) {
+        const std::string line =
+            ChurnReviseLine(ChurnStateSpec(trace.StateAt(k)), key,
+                            trace.steps[static_cast<std::size_t>(k)]);
+        const auto start = std::chrono::steady_clock::now();
+        const JsonValue v = conn.RoundTrip(line);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!v.GetBool("ok", false)) {
+          ++errors;
+          break;
+        }
+        warm_ms.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+        if (v.GetBool("warm", false)) ++warm_taken;
+        warm_weight[static_cast<std::size_t>(k)] = static_cast<Weight>(
+            v.Find("results")->array[0].GetNumber("weight", -1));
+        key = v.GetString("key", "");
+      }
+      server.RequestShutdown();
+      errors += server.Wait();
+    }
+
+    // Cold series: every revised state solved from scratch on a separate
+    // server (the warm chain's cache inserts must not leak in).
+    {
+      ServeOptions options;
+      options.threads = 2;
+      Server server(options);
+      server.Start();
+      ClientConnection conn("127.0.0.1", server.Port());
+      for (int k = 0; k < kChurnSteps; ++k) {
+        const std::string line =
+            ChurnSolveLine(ChurnStateSpec(trace.StateAt(k + 1)));
+        const auto start = std::chrono::steady_clock::now();
+        const JsonValue v = conn.RoundTrip(line);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!v.GetBool("ok", false)) {
+          ++errors;
+          break;
+        }
+        cold_ms.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+        cold_weight[static_cast<std::size_t>(k)] = static_cast<Weight>(
+            v.Find("results")->array[0].GetNumber("weight", -1));
+      }
+      server.RequestShutdown();
+      errors += server.Wait();
+    }
+
+    double ratio_sum = 0.0, ratio_worst = 0.0;
+    int ratio_count = 0;
+    for (int k = 0; k < kChurnSteps; ++k) {
+      if (warm_weight[static_cast<std::size_t>(k)] <= 0 ||
+          cold_weight[static_cast<std::size_t>(k)] <= 0) {
+        continue;
+      }
+      const double ratio =
+          static_cast<double>(warm_weight[static_cast<std::size_t>(k)]) /
+          static_cast<double>(cold_weight[static_cast<std::size_t>(k)]);
+      ratio_sum += ratio;
+      ratio_worst = std::max(ratio_worst, ratio);
+      ++ratio_count;
+    }
+    std::sort(warm_ms.begin(), warm_ms.end());
+    std::sort(cold_ms.begin(), cold_ms.end());
+
+    state.counters["steps"] = static_cast<double>(kChurnSteps);
+    state.counters["pairs"] = static_cast<double>(kChurnPairs);
+    state.counters["errors"] = errors;  // must stay 0
+    state.counters["warm_taken"] = warm_taken;
+    state.counters["warm_p50_ms"] = PercentileOfSorted(warm_ms, 0.50);
+    state.counters["warm_p95_ms"] = PercentileOfSorted(warm_ms, 0.95);
+    state.counters["cold_p50_ms"] = PercentileOfSorted(cold_ms, 0.50);
+    state.counters["cold_p95_ms"] = PercentileOfSorted(cold_ms, 0.95);
+    // The acceptance ratios: warm revise latency vs a from-scratch solve of
+    // the same state (>= 2x at p95), at near-parity solution cost (<= 1.05).
+    state.counters["p95_speedup"] =
+        warm_ms.empty() ? 0.0
+                        : PercentileOfSorted(cold_ms, 0.95) /
+                              PercentileOfSorted(warm_ms, 0.95);
+    state.counters["cost_ratio_mean"] =
+        ratio_count == 0 ? 0.0 : ratio_sum / ratio_count;
+    state.counters["cost_ratio_worst"] = ratio_worst;
+  }
+}
+BENCHMARK(BM_ChurnRevise)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dsf

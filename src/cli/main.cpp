@@ -25,7 +25,7 @@
 //       | --stats | --ping) [--port N] [--host A] [--solvers LIST]
 //       [--seed N] [--epsilon X] [--repetitions N] [--deadline-ms N]
 //       [--no-prune] [--repeat N] [--retries N] [--backoff-ms N]
-//       [--json FILE]
+//       [--json FILE] [--revise KEY [--delta SPEC] [--revise-mode M]]
 //   dsf --list-solvers
 //   dsf --list-generators
 #include <cerrno>
@@ -518,6 +518,17 @@ void PrintClientUsage(std::FILE* out) {
                " 'random-ic k=2 tpc=2'\n"
                "  --stats           request the /stats counters\n"
                "  --ping            liveness probe\n"
+               "  --revise KEY      op=revise against the cached base result\n"
+               "                    named by KEY (32-hex \"key\" of a prior"
+               " response);\n"
+               "                    the solve framing describes the BASE"
+               " instance\n"
+               "  --delta SPEC      edits for --revise: add=U-V rm=U-V"
+               " (CR pairs),\n"
+               "                    addt=V:L rmt=V (IC terminals);"
+               " comma/space\n"
+               "                    separated, default empty\n"
+               "  --revise-mode M   warm (default) | exact-match\n"
                "  --solvers LIST    comma-separated solver specs (default"
                " all; portfolio(...)\n"
                "                    specs allowed)\n"
@@ -695,6 +706,22 @@ int RunClientCommand(int argc, char** argv) {
       args.stats = true;
     } else if (flag == "--ping") {
       args.ping = true;
+    } else if (flag == "--revise") {
+      const char* v = need_value();
+      if (!v) break;
+      args.revise_base = v;
+    } else if (flag == "--delta") {
+      const char* v = need_value();
+      if (!v) break;
+      args.delta = v;
+    } else if (flag == "--revise-mode") {
+      const char* v = need_value();
+      if (!v) break;
+      if (std::strcmp(v, "warm") != 0 && std::strcmp(v, "exact-match") != 0) {
+        error = "--revise-mode must be warm or exact-match";
+        break;
+      }
+      args.revise_mode = v;
     } else if (flag == "--solvers") {
       const char* v = need_value();
       if (!v) break;
@@ -777,6 +804,11 @@ int RunClientCommand(int argc, char** argv) {
       error = "--port is required";
     } else if (!args.instance.empty() && args.generate.empty()) {
       error = "--instance needs --generate";
+    } else if (!args.revise_base.empty() && (args.stats || args.ping)) {
+      error = "--revise needs a solve framing (--scenario or --generate)";
+    } else if ((!args.delta.empty() || !args.revise_mode.empty()) &&
+               args.revise_base.empty()) {
+      error = "--delta / --revise-mode need --revise";
     }
   }
   if (!error.empty()) {

@@ -126,6 +126,23 @@ void AdmissionQueue::DispatchLoop() {
     requests.reserve(batch.size());
     for (Task& t : batch) requests.push_back(std::move(t.request));
 
+    // Latency-aware racing: portfolio mode=first units get the live p50
+    // digest so the historically-fastest member starts first. Attached
+    // after hashing (hints are not part of the canonical key) and only to
+    // the non-deterministic mode, so mode=all bit-identity is untouched.
+    std::vector<std::pair<std::string, double>> hints;
+    bool hints_loaded = false;
+    for (SolveRequest& r : requests) {
+      if (r.solver.find("mode=first") == std::string::npos) continue;
+      if (!hints_loaded) {
+        hints_loaded = true;
+        for (const SolverLatency& s : Latencies()) {
+          if (s.count > 0) hints.push_back({s.solver, s.p50_ms});
+        }
+      }
+      r.options.latency_hints = hints;
+    }
+
     std::vector<SolveResult> results;
     std::string error;
     try {

@@ -19,7 +19,10 @@
 //
 // The dispatcher publishes every finished unit to the shared `ResultCache`
 // and records its latency per solver (fixed-size reservoir) for `/stats`
-// p50/p95 reporting.
+// p50/p95 reporting. The same rings feed back into dispatch: portfolio
+// mode=first units receive the current p50 digest as latency hints, so the
+// race starts its historically-fastest member first (solve/solver.hpp,
+// PortfolioStartOrder).
 #pragma once
 
 #include <condition_variable>

@@ -89,6 +89,40 @@ CacheKey CanonicalHash(const CacheKey& graph, const SolveRequest& request,
   return {a.MixedDigest(), b.Digest()};
 }
 
+std::string CacheKeyToHex(const CacheKey& key) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        kDigits[(key.hi >> (60 - 4 * i)) & 0xf];
+    out[static_cast<std::size_t>(16 + i)] =
+        kDigits[(key.lo >> (60 - 4 * i)) & 0xf];
+  }
+  return out;
+}
+
+bool CacheKeyFromHex(std::string_view text, CacheKey* key) {
+  if (text.size() != 32) return false;
+  std::uint64_t words[2] = {0, 0};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = text[i];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    words[i / 16] = (words[i / 16] << 4) | nibble;
+  }
+  key->hi = words[0];
+  key->lo = words[1];
+  return true;
+}
+
 ResultCache::ResultCache(std::size_t capacity, int shards) {
   const int clamped = std::clamp(shards, 1, 64);
   auto count = std::bit_ceil(static_cast<unsigned>(clamped));

@@ -51,6 +51,14 @@ struct CacheKeyHash {
 // digest to CanonicalHash.
 [[nodiscard]] CacheKey HashGraph(const Graph& g);
 
+// Wire form of a key: 32 lowercase hex digits (hi then lo). The revise op
+// references cached base results by this string, and every solve result
+// reports its key so clients can chain revisions.
+[[nodiscard]] std::string CacheKeyToHex(const CacheKey& key);
+// Strict inverse: exactly 32 hex digits, case-insensitive. False (and *key
+// untouched) on anything else.
+[[nodiscard]] bool CacheKeyFromHex(std::string_view text, CacheKey* key);
+
 // The canonical key of one unit of solver work. `seed` is the *final*
 // per-unit seed (after any master-seed derivation) — the value the solver
 // core actually consumes — so batch position and request framing cannot
@@ -85,9 +93,12 @@ class ResultCache {
   [[nodiscard]] std::optional<SolveResult> Lookup(const CacheKey& key);
 
   // Inserts (or refreshes) `result` under `key`, evicting the shard's LRU
-  // tail when full. Re-inserting an existing key refreshes recency only —
-  // results are deterministic functions of the key, so the value cannot
-  // have changed.
+  // tail when full. Re-inserting an existing key refreshes recency only.
+  // The cache's contract is "any feasible result for this key is a valid
+  // answer": most entries are deterministic functions of their key, but
+  // mode=first portfolio results and warm-started revise results are
+  // admitted too — they differ from a cold solve only within the
+  // approximation guarantee, never in feasibility (DESIGN.md §5).
   void Insert(const CacheKey& key, const SolveResult& result);
 
   [[nodiscard]] CacheCounters Counters() const;

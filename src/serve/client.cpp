@@ -74,6 +74,93 @@ JsonValue ClientConnection::RoundTrip(std::string_view request_line) {
   return ParseJson(response);
 }
 
+// Parses the --delta grammar and writes the wire "delta" object. Tokens
+// are separated by commas and/or whitespace; each is add=U-V, rm=U-V,
+// addt=V:L, or rmt=V.
+static void WriteDeltaJson(JsonWriter& json, const std::string& spec) {
+  std::vector<std::pair<long long, long long>> add_pairs;
+  std::vector<std::pair<long long, long long>> remove_pairs;
+  std::vector<std::pair<long long, long long>> add_terminals;
+  std::vector<long long> remove_terminals;
+
+  const auto fail = [](const std::string& token) -> std::runtime_error {
+    return std::runtime_error(
+        "bad --delta token '" + token +
+        "' (want add=U-V, rm=U-V, addt=V:L, or rmt=V)");
+  };
+  const auto parse_int = [&](std::string_view text,
+                             const std::string& token) {
+    std::size_t used = 0;
+    long long value = 0;
+    try {
+      value = std::stoll(std::string(text), &used);
+    } catch (const std::exception&) {
+      throw fail(token);
+    }
+    if (used != text.size() || value < 0) throw fail(token);
+    return value;
+  };
+  const auto parse_two = [&](std::string_view text, char sep,
+                             const std::string& token) {
+    const std::size_t at = text.find(sep);
+    if (at == std::string_view::npos) throw fail(token);
+    return std::pair<long long, long long>{
+        parse_int(text.substr(0, at), token),
+        parse_int(text.substr(at + 1), token)};
+  };
+
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ',') c = ' ';
+  }
+  std::istringstream in(normalized);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) throw fail(token);
+    const std::string kind = token.substr(0, eq);
+    const std::string_view rest = std::string_view(token).substr(eq + 1);
+    if (kind == "add") {
+      add_pairs.push_back(parse_two(rest, '-', token));
+    } else if (kind == "rm") {
+      remove_pairs.push_back(parse_two(rest, '-', token));
+    } else if (kind == "addt") {
+      add_terminals.push_back(parse_two(rest, ':', token));
+    } else if (kind == "rmt") {
+      remove_terminals.push_back(parse_int(rest, token));
+    } else {
+      throw fail(token);
+    }
+  }
+
+  json.Key("delta");
+  json.BeginObject();
+  const auto write_pairs =
+      [&](std::string_view key,
+          const std::vector<std::pair<long long, long long>>& pairs) {
+        if (pairs.empty()) return;
+        json.Key(key);
+        json.BeginArray();
+        for (const auto& [a, b] : pairs) {
+          json.BeginArray();
+          json.Int(a);
+          json.Int(b);
+          json.EndArray();
+        }
+        json.EndArray();
+      };
+  write_pairs("add_pairs", add_pairs);
+  write_pairs("remove_pairs", remove_pairs);
+  write_pairs("add_terminals", add_terminals);
+  if (!remove_terminals.empty()) {
+    json.Key("remove_terminals");
+    json.BeginArray();
+    for (const long long v : remove_terminals) json.Int(v);
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
 std::string BuildClientRequest(const ClientArgs& args) {
   std::ostringstream os;
   JsonWriter json(os);
@@ -84,7 +171,7 @@ std::string BuildClientRequest(const ClientArgs& args) {
   } else if (args.ping) {
     json.String("ping");
   } else {
-    json.String("solve");
+    json.String(args.revise_base.empty() ? "solve" : "revise");
     if (!args.scenario_path.empty()) {
       std::ifstream in(args.scenario_path);
       if (!in) {
@@ -133,6 +220,15 @@ std::string BuildClientRequest(const ClientArgs& args) {
     if (!args.prune) {
       json.Key("prune");
       json.Bool(false);
+    }
+    if (!args.revise_base.empty()) {
+      json.Key("base");
+      json.String(args.revise_base);
+      WriteDeltaJson(json, args.delta);
+      if (!args.revise_mode.empty()) {
+        json.Key("mode");
+        json.String(args.revise_mode);
+      }
     }
   }
   json.EndObject();

@@ -61,6 +61,15 @@ struct ClientArgs {
   std::string instance;  // optional with --generate
   bool stats = false;
   bool ping = false;
+  // Revise op (--revise KEY): turns the solve framing into op=revise
+  // against the cached base result named by the 32-hex canonical key (a
+  // previous solve/revise result's "key" field).
+  std::string revise_base;
+  // --delta spec: whitespace/comma-separated edits applied to the base
+  // instance — add=U-V / rm=U-V (CR pairs), addt=V:L / rmt=V (IC
+  // terminals). Empty means an empty delta.
+  std::string delta;
+  std::string revise_mode;  // "" (server default: warm) | "exact-match"
   std::string solvers;   // comma list of solver specs; empty = all
   std::uint64_t seed = 0;
   bool seed_set = false;

@@ -11,6 +11,7 @@
 #include "cli/json.hpp"
 #include "common/random.hpp"
 #include "graph/properties.hpp"
+#include "solve/incremental.hpp"
 #include "solve/solver.hpp"
 #include "solve/solver_spec.hpp"
 #include "workload/spec.hpp"
@@ -130,7 +131,11 @@ struct SolvePlan {
   SolveOptions options;
 };
 
-SolvePlan ParseSolve(const ServeContext& ctx, const JsonValue& req) {
+// `revise` narrows the solver default: with no request or spec solvers, a
+// solve fans out to every registered solver, but a revision names one unit,
+// and the only warm-startable core is local-search.
+SolvePlan ParseSolve(const ServeContext& ctx, const JsonValue& req,
+                     bool revise = false) {
   SolvePlan plan;
   const std::string text = RequestSpecText(req);
   std::istringstream in(text);
@@ -164,8 +169,12 @@ SolvePlan ParseSolve(const ServeContext& ctx, const JsonValue& req) {
   // `as` directive beats every registered solver.
   if (plan.solvers.empty()) plan.solvers = plan.spec.solvers;
   if (plan.solvers.empty()) {
-    for (const auto name : SolverRegistry::Names()) {
-      plan.solvers.emplace_back(name);
+    if (revise) {
+      plan.solvers.emplace_back("local-search");
+    } else {
+      for (const auto name : SolverRegistry::Names()) {
+        plan.solvers.emplace_back(name);
+      }
     }
   }
   for (std::string& name : plan.solvers) {
@@ -200,7 +209,7 @@ SolvePlan ParseSolve(const ServeContext& ctx, const JsonValue& req) {
 
 void WriteUnitResult(JsonWriter& json, const WorkloadCase& wc,
                      const WorkloadInstance& inst, const SolveResult& r,
-                     bool cached) {
+                     bool cached, const CacheKey& key) {
   json.BeginObject();
   json.Key("solver");
   json.String(r.solver);
@@ -230,6 +239,10 @@ void WriteUnitResult(JsonWriter& json, const WorkloadCase& wc,
   json.Double(r.wall_ms);
   json.Key("cached");
   json.Bool(cached);
+  // The unit's canonical key: what a revise request passes as "base" to
+  // warm-start from this result.
+  json.Key("key");
+  json.String(CacheKeyToHex(key));
   json.EndObject();
 }
 
@@ -341,8 +354,198 @@ std::string HandleSolve(ServeContext& ctx, const JsonValue& req,
         workload.cases[static_cast<std::size_t>(matrix.case_index[i])];
     const WorkloadInstance& inst =
         wc.instances[static_cast<std::size_t>(matrix.instance_index[i])];
-    WriteUnitResult(json, wc, inst, results[i], cached[i]);
+    WriteUnitResult(json, wc, inst, results[i], cached[i], keys[i]);
   }
+  json.EndArray();
+  json.EndObject();
+  return os.str();
+}
+
+// Reads one element of a delta array as an integer (node id or label);
+// array shape errors name the field.
+long long DeltaInt(const JsonValue& v, std::string_view field) {
+  if (!v.IsNumber() || v.string.find_first_of(".eE") != std::string::npos) {
+    throw std::runtime_error("'delta." + std::string(field) +
+                             "' entries must be integers");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(v.string.c_str(), &end, 10);
+  if (end != v.string.c_str() + v.string.size() || errno == ERANGE) {
+    throw std::runtime_error("'delta." + std::string(field) +
+                             "' entries must be integers");
+  }
+  return value;
+}
+
+// Parses the "delta" object; node-range and semantic validation happens in
+// ApplyDelta against the base instance.
+InstanceDelta ParseDelta(const JsonValue& req) {
+  const JsonValue* delta = req.Find("delta");
+  if (delta == nullptr || !delta->IsObject()) {
+    throw std::runtime_error("revise needs a 'delta' object");
+  }
+  InstanceDelta out;
+  const auto read_pairs = [&](std::string_view field,
+                              std::vector<std::pair<NodeId, NodeId>>& into) {
+    const JsonValue* arr = delta->Find(field);
+    if (arr == nullptr) return;
+    if (!arr->IsArray()) {
+      throw std::runtime_error("'delta." + std::string(field) +
+                               "' must be an array of [a, b] pairs");
+    }
+    for (const JsonValue& e : arr->array) {
+      if (!e.IsArray() || e.array.size() != 2) {
+        throw std::runtime_error("'delta." + std::string(field) +
+                                 "' must be an array of [a, b] pairs");
+      }
+      into.push_back({static_cast<NodeId>(DeltaInt(e.array[0], field)),
+                      static_cast<NodeId>(DeltaInt(e.array[1], field))});
+    }
+  };
+  read_pairs("add_pairs", out.add_pairs);
+  read_pairs("remove_pairs", out.remove_pairs);
+  std::vector<std::pair<NodeId, NodeId>> terminals;
+  read_pairs("add_terminals", terminals);
+  for (const auto& [v, l] : terminals) {
+    out.add_terminals.push_back({v, static_cast<Label>(l)});
+  }
+  const JsonValue* removes = delta->Find("remove_terminals");
+  if (removes != nullptr) {
+    if (!removes->IsArray()) {
+      throw std::runtime_error(
+          "'delta.remove_terminals' must be an array of node ids");
+    }
+    for (const JsonValue& e : removes->array) {
+      out.remove_terminals.push_back(
+          static_cast<NodeId>(DeltaInt(e, "remove_terminals")));
+    }
+  }
+  return out;
+}
+
+std::string HandleRevise(ServeContext& ctx, const JsonValue& req,
+                         const std::string& id) {
+  const auto start = std::chrono::steady_clock::now();
+  const SolvePlan plan = ParseSolve(ctx, req, /*revise=*/true);
+  const Workload workload = ExpandWorkload(plan.spec);
+  if (workload.cases.size() != 1 || workload.cases[0].instances.size() != 1 ||
+      plan.solvers.size() != 1) {
+    throw std::runtime_error(
+        "revise needs exactly one case x instance x solver");
+  }
+  const WorkloadCase& wc = workload.cases[0];
+  if (!IsConnected(wc.graph)) {
+    throw std::runtime_error("case '" + wc.name +
+                             "' is disconnected; no distributed protocol "
+                             "can run on it");
+  }
+  CacheKey base_key;
+  if (!CacheKeyFromHex(req.GetString("base", ""), &base_key)) {
+    throw std::runtime_error(
+        "revise needs 'base': the 32-hex canonical key of the cached base "
+        "result (a solve result's \"key\" field)");
+  }
+  const InstanceDelta delta = ParseDelta(req);
+  const std::string mode = req.GetString("mode", "warm");
+  if (mode != "warm" && mode != "exact-match") {
+    throw std::runtime_error("'mode' must be \"warm\" or \"exact-match\"");
+  }
+
+  const RequestMatrix matrix =
+      BuildRequests(workload, plan.solvers, plan.options);
+  const SolveRequest& base_request = matrix.requests[0];
+  // Same seed position as a solve of the same one-unit framing — the unit
+  // is matrix cell 0 either way, which is what makes the revised key equal
+  // the cold key of the revised instance.
+  const std::uint64_t seed = DeriveSeed(plan.spec.seed, 0);
+  const CacheKey graph_hash = HashGraph(wc.graph);
+
+  // The revised unit, cold by default; the warm path upgrades it below.
+  SolveRequest revised = base_request;
+  if (revised.use_cr) {
+    revised.cr = ApplyDelta(revised.cr, delta);
+  } else {
+    revised.ic = ApplyDelta(revised.ic, delta);
+  }
+  const CacheKey revised_key = CanonicalHash(graph_hash, revised, seed);
+
+  bool warm = false;
+  bool base_hit = false;
+  bool cached = false;
+  std::string cold_reason;
+  SolveResult result;
+  std::uint64_t coalesced = 0;
+  if (auto hit = ctx.cache->Lookup(revised_key)) {
+    // The revised instance is already resident (an earlier revise or an
+    // exact solve): serve it without touching the base at all.
+    result = std::move(*hit);
+    cached = true;
+  } else {
+    if (mode == "warm") {
+      if (auto base = ctx.cache->Lookup(base_key)) {
+        base_hit = true;
+        WarmStartPlan warm_plan =
+            PrepareWarmStart(base_request, base->forest, delta);
+        if (warm_plan.warm) {
+          warm = true;
+          revised = std::move(warm_plan.revised);
+        } else {
+          cold_reason = warm_plan.cold_reason;
+        }
+      } else {
+        cold_reason = "base key not cached";
+      }
+    }
+    auto admission = ctx.queue->SubmitAll({&revised, 1}, {&revised_key, 1},
+                                          {&seed, 1});
+    if (admission.tickets.empty()) {
+      return ErrorResponse(
+          id, "overloaded",
+          static_cast<long long>(ctx.queue->Counters().depth));
+    }
+    coalesced = admission.coalesced;
+    result = admission.tickets[0]->Wait();
+    if (!admission.tickets[0]->Error().empty()) {
+      return ErrorResponse(id, admission.tickets[0]->Error());
+    }
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  if (!id.empty()) {
+    json.Key("id");
+    json.String(id);
+  }
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("seed");
+  json.UInt(plan.spec.seed);
+  json.Key("requests");
+  json.Int(1);
+  json.Key("hits");
+  json.Int(cached ? 1 : 0);
+  json.Key("misses");
+  json.Int(cached ? 0 : 1);
+  json.Key("coalesced");
+  json.Int(static_cast<long long>(coalesced));
+  json.Key("warm");
+  json.Bool(warm);
+  json.Key("base_hit");
+  json.Bool(base_hit);
+  if (!cold_reason.empty()) {
+    json.Key("cold_reason");
+    json.String(cold_reason);
+  }
+  json.Key("key");
+  json.String(CacheKeyToHex(revised_key));
+  json.Key("wall_ms");
+  json.Double(std::chrono::duration<double, std::milli>(stop - start).count());
+  json.Key("results");
+  json.BeginArray();
+  WriteUnitResult(json, wc, wc.instances[0], result, cached, revised_key);
   json.EndArray();
   json.EndObject();
   return os.str();
@@ -445,8 +648,9 @@ std::string HandleRequestLine(ServeContext& ctx, std::string_view line) {
     }
     if (op == "stats") return HandleStats(ctx, id);
     if (op == "solve") return HandleSolve(ctx, req, id);
+    if (op == "revise") return HandleRevise(ctx, req, id);
     return ErrorResponse(
-        id, op.empty() ? "missing 'op' (solve | stats | ping)"
+        id, op.empty() ? "missing 'op' (solve | stats | ping | revise)"
                        : "unknown op '" + op + "'");
   } catch (const std::exception& e) {
     return ErrorResponse(id, e.what());

@@ -21,6 +21,18 @@
 //    "deadline_ms":N?                — per-unit anytime deadline, capped by
 //                                      the server's --deadline-ms,
 //    "epsilon":X?, "repetitions":N?, "prune":BOOL?}
+//   {"op":"revise", "id":STR?,
+//    ...solve fields...              — base instance framing; must expand to
+//                                      exactly one case x instance x solver
+//                                      (default solver: local-search),
+//    "base":STR                      — 32-hex canonical key of the cached
+//                                      base result (a solve/revise result's
+//                                      "key" field),
+//    "delta":{"add_pairs":[[u,v]..]?,"remove_pairs":[[u,v]..]?,
+//             "add_terminals":[[v,label]..]?,"remove_terminals":[v..]?},
+//    "mode":"warm"|"exact-match"?}   — exact-match skips the warm path and
+//                                      cold-solves the revised instance
+//                                      (bit-identical to op=solve on it)
 //   {"op":"stats", "id":STR?}
 //   {"op":"ping", "id":STR?}
 //
@@ -34,9 +46,17 @@
 //    "coalesced":N, "wall_ms":X, "results":[
 //      {"solver":S,"case":C,"instance":I,"input":"ic"|"cr","weight":W,
 //       "feasible":B,"cancelled":true?,"edges":[...],"rounds":N,
-//       "messages":N,"wall_ms":X,"cached":B}, ...]}
+//       "messages":N,"wall_ms":X,"cached":B,"key":HEX}, ...]}
 //   {"id":..., "ok":false, "error":STR}            — parse/validation errors
 //   {"id":..., "ok":false, "error":"overloaded", "queue_depth":N}
+//
+// Revise responses add "warm" (the repaired-forest warm path ran), the
+// "base_hit" cache verdict, and "key" (the canonical key of the *revised*
+// instance — the result is cached under it, so a later exact solve, or the
+// next revise in a churn chain, hits). A base-key miss, an oversized delta,
+// or a failed repair degrade to a cold solve with "warm":false; the
+// response is feasibility-validated either way, and a warm result is never
+// worse than its warm-start forest (solve/incremental.hpp).
 //
 // The stats response exposes the cache counters, queue depths, and the
 // per-solver latency digest:

@@ -304,6 +304,22 @@ CacheKey RouterRequestKey(std::string_view canonical_text) {
   return {a.MixedDigest(), b.Digest()};
 }
 
+std::string RouteAffinityText(const JsonValue& request) {
+  if (request.GetString("op", "") != "revise") {
+    return CanonicalRequestText(request);
+  }
+  JsonValue solve_like = request;
+  std::vector<std::pair<std::string, JsonValue>> kept;
+  kept.reserve(solve_like.object.size());
+  for (auto& m : solve_like.object) {
+    if (m.first == "base" || m.first == "delta" || m.first == "mode") continue;
+    if (m.first == "op") m.second.string = "solve";
+    kept.push_back(std::move(m));
+  }
+  solve_like.object = std::move(kept);
+  return CanonicalRequestText(solve_like);
+}
+
 // --- Router ------------------------------------------------------------------
 
 namespace {
@@ -607,7 +623,11 @@ std::string Router::RouteRequest(const JsonValue& request,
     return WithId(*hit, id);
   }
 
-  const std::vector<int> order = ring_.PreferenceOrder(key.lo);
+  // The hot cache keys on the full canonical text (distinct revises never
+  // alias), but ring placement uses the affinity text so a revise walks
+  // the ring from the same point as its base solve.
+  const CacheKey ring_key = RouterRequestKey(RouteAffinityText(request));
+  const std::vector<int> order = ring_.PreferenceOrder(ring_key.lo);
   const int total_attempts = std::max(options_.retry.retries, 0) + 1;
   int last_backend = -1;
   for (int attempt = 0; attempt < total_attempts; ++attempt) {

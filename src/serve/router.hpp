@@ -177,6 +177,16 @@ class HotCache {
 // shape as serve/cache.cpp). `lo` doubles as the ring point.
 [[nodiscard]] CacheKey RouterRequestKey(std::string_view canonical_text);
 
+// Ring-placement text of a request. For op=revise this is the canonical
+// text of the *solve-equivalent* request (op rewritten to "solve";
+// "base"/"delta"/"mode" stripped): a revise then walks the ring from the
+// same point as the solve that produced its base result, so the warm path
+// finds the base key in that backend's cache. Chained revises whose framing
+// drifts across states may still land elsewhere — the op degrades to a
+// cold solve there, never a wrong answer. Every other op keys on its full
+// canonical text.
+[[nodiscard]] std::string RouteAffinityText(const JsonValue& request);
+
 // --- the router --------------------------------------------------------------
 
 struct RouterOptions {

@@ -1,0 +1,266 @@
+#include "solve/incremental.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/union_find.hpp"
+#include "solve/solver_spec.hpp"
+#include "steiner/prune.hpp"
+#include "steiner/validate.hpp"
+
+namespace dsf {
+namespace {
+
+// Heap entry of the attach pass: (distance in the forest-is-free metric,
+// node). The node id breaks ties, so the pass is deterministic.
+using HeapEntry = std::pair<Weight, NodeId>;
+
+// Cheapest path from the tree containing `source` to any node whose
+// union-find root is marked in `target_root`, in the metric where edges
+// already in `in_forest` cost 0 (the source's whole tree is explored at
+// distance 0, and paths may tunnel through other trees for free — the
+// cycle guard at add time keeps the result a forest). Returns the hit node
+// (kNoNode when unreachable) and fills parent_edge[] along the way.
+NodeId StoppedDijkstra(const Graph& g, NodeId source,
+                       const std::vector<char>& in_forest, UnionFind& uf,
+                       const std::vector<char>& target_root,
+                       std::vector<EdgeId>& parent_edge) {
+  const auto n = static_cast<std::size_t>(g.NumNodes());
+  std::vector<Weight> dist(n, kInfWeight);
+  std::vector<char> done(n, 0);
+  parent_edge.assign(n, kNoEdge);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[static_cast<std::size_t>(u)]) continue;
+    done[static_cast<std::size_t>(u)] = 1;
+    if (target_root[static_cast<std::size_t>(uf.Find(u))]) return u;
+    for (const auto& inc : g.Neighbors(u)) {
+      const Weight w =
+          in_forest[static_cast<std::size_t>(inc.edge)] ? 0 : g.GetEdge(inc.edge).w;
+      const auto vi = static_cast<std::size_t>(inc.neighbor);
+      if (d + w < dist[vi]) {
+        dist[vi] = d + w;
+        parent_edge[vi] = inc.edge;
+        heap.emplace(d + w, inc.neighbor);
+      }
+    }
+  }
+  return kNoNode;
+}
+
+}  // namespace
+
+RepairOutcome RepairForest(const Graph& g, const IcInstance& revised,
+                           std::span<const EdgeId> base_forest) {
+  RepairOutcome out;
+  const int n = g.NumNodes();
+  if (!g.Finalized() || revised.NumNodes() != n) return out;
+  // A base forest fetched by cache key may describe a different graph than
+  // the one the caller framed (a mis-supplied base key): reject out-of-range
+  // edge ids and cycles here so the caller degrades to a cold solve instead
+  // of tripping a check deeper in the pipeline.
+  for (const EdgeId e : base_forest) {
+    if (e < 0 || e >= g.NumEdges()) return out;
+  }
+  if (!g.IsForest(base_forest)) return out;
+
+  // Pass 1 (prune): within each base tree, a group of >= 2 same-component
+  // terminals keeps its connecting path alive via a synthetic label; every
+  // other base edge — those only needed by demands no longer present — is
+  // dropped by the minimal-subforest rule. The synthetic instance is
+  // feasible for the base forest by construction (each group lives in one
+  // tree), which is MinimalFeasibleSubforest's precondition.
+  UnionFind base_uf(n);
+  for (const EdgeId e : base_forest) {
+    const Edge& edge = g.GetEdge(e);
+    base_uf.Union(edge.u, edge.v);
+  }
+  IcInstance kept;
+  kept.labels.assign(static_cast<std::size_t>(n), kNoLabel);
+  Label next_synthetic = 0;
+  const std::vector<Label> components = revised.DistinctLabels();
+  for (const Label component : components) {
+    // Terminals of this component, grouped by their base-forest tree.
+    std::vector<std::pair<int, NodeId>> by_tree;  // (root, terminal)
+    for (NodeId v = 0; v < n; ++v) {
+      if (revised.LabelOf(v) == component) by_tree.emplace_back(base_uf.Find(v), v);
+    }
+    std::sort(by_tree.begin(), by_tree.end());
+    for (std::size_t i = 0; i < by_tree.size();) {
+      std::size_t j = i;
+      while (j < by_tree.size() && by_tree[j].first == by_tree[i].first) ++j;
+      if (j - i >= 2) {
+        for (std::size_t k = i; k < j; ++k) {
+          kept.labels[static_cast<std::size_t>(by_tree[k].second)] = next_synthetic;
+        }
+        ++next_synthetic;
+      }
+      i = j;
+    }
+  }
+  std::vector<EdgeId> forest = MinimalFeasibleSubforest(g, kept, base_forest);
+  out.dropped = static_cast<int>(base_forest.size() - forest.size());
+
+  // Pass 2 (attach): reconnect every component still split across trees.
+  std::vector<char> in_forest(static_cast<std::size_t>(g.NumEdges()), 0);
+  for (const EdgeId e : forest) in_forest[static_cast<std::size_t>(e)] = 1;
+  for (const EdgeId e : base_forest) {
+    if (in_forest[static_cast<std::size_t>(e)]) continue;  // survived the prune
+    const Edge& edge = g.GetEdge(e);
+    out.touched.push_back(edge.u);
+    out.touched.push_back(edge.v);
+  }
+  UnionFind uf(n);
+  for (const EdgeId e : forest) {
+    const Edge& edge = g.GetEdge(e);
+    uf.Union(edge.u, edge.v);
+  }
+  std::vector<char> target_root(static_cast<std::size_t>(n), 0);
+  std::vector<EdgeId> parent_edge;
+  for (const Label component : components) {
+    std::vector<NodeId> terminals;
+    for (NodeId v = 0; v < n; ++v) {
+      if (revised.LabelOf(v) == component) terminals.push_back(v);
+    }
+    if (terminals.size() < 2) continue;
+    // Attach the core (the tree of the smallest terminal) to the remaining
+    // trees one path at a time; each path merges at least one tree in.
+    bool connected = false;
+    while (!connected) {
+      const int core = uf.Find(terminals.front());
+      std::vector<int> other_roots;
+      for (const NodeId t : terminals) {
+        const int root = uf.Find(t);
+        if (root != core) other_roots.push_back(root);
+      }
+      if (other_roots.empty()) {
+        connected = true;
+        break;
+      }
+      for (const int root : other_roots) {
+        target_root[static_cast<std::size_t>(root)] = 1;
+      }
+      const NodeId hit = StoppedDijkstra(g, terminals.front(), in_forest, uf,
+                                         target_root, parent_edge);
+      for (const int root : other_roots) {
+        target_root[static_cast<std::size_t>(root)] = 0;
+      }
+      if (hit == kNoNode) return out;  // unreachable: cannot repair
+      for (NodeId v = hit; parent_edge[static_cast<std::size_t>(v)] != kNoEdge;) {
+        const EdgeId e = parent_edge[static_cast<std::size_t>(v)];
+        const Edge& edge = g.GetEdge(e);
+        if (!in_forest[static_cast<std::size_t>(e)] && uf.Union(edge.u, edge.v)) {
+          in_forest[static_cast<std::size_t>(e)] = 1;
+          forest.push_back(e);
+          out.touched.push_back(edge.u);
+          out.touched.push_back(edge.v);
+        }
+        v = edge.Other(v);
+      }
+      ++out.attached;
+    }
+  }
+
+  std::sort(forest.begin(), forest.end());
+  if (!g.IsForest(forest) || !IsFeasible(g, revised, forest)) return out;
+  std::sort(out.touched.begin(), out.touched.end());
+  out.touched.erase(std::unique(out.touched.begin(), out.touched.end()),
+                    out.touched.end());
+  out.forest = std::move(forest);
+  out.ok = true;
+  return out;
+}
+
+WarmStartPlan PrepareWarmStart(const SolveRequest& base,
+                               std::span<const EdgeId> base_forest,
+                               const InstanceDelta& delta,
+                               double max_delta_fraction) {
+  WarmStartPlan plan;
+  plan.revised = base;
+  plan.revised.options.warm_start.clear();
+  plan.revised.options.focus.clear();
+  if (base.use_cr) {
+    plan.revised.cr = ApplyDelta(base.cr, delta);
+  } else {
+    plan.revised.ic = ApplyDelta(base.ic, delta);
+  }
+
+  // Eligibility ladder; the first rung that fails names the cold reason.
+  const SolverSpec spec = ParseSolverSpec(base.solver);
+  if (spec.base != "local-search") {
+    plan.cold_reason = "solver '" + spec.base + "' is not warm-startable";
+    return plan;
+  }
+  // Demand size of the base: request pairs for CR (NumRequests counts both
+  // directions), terminals for IC.
+  const int demands =
+      base.use_cr ? base.cr.NumRequests() / 2 : base.ic.NumTerminals();
+  const double limit =
+      std::max(1.0, max_delta_fraction * static_cast<double>(demands));
+  if (static_cast<double>(delta.Size()) > limit) {
+    plan.cold_reason = "delta too large (" + std::to_string(delta.Size()) +
+                       " edits vs " + std::to_string(demands) + " demands)";
+    return plan;
+  }
+  const IcInstance revised_ic =
+      base.use_cr ? CrToIc(plan.revised.cr) : plan.revised.ic;
+  RepairOutcome repair = RepairForest(*base.graph, revised_ic, base_forest);
+  if (!repair.ok) {
+    plan.cold_reason = "repair failed";
+    return plan;
+  }
+  plan.warm = true;
+  plan.warm_weight = base.graph->WeightOf(repair.forest);
+  plan.revised.options.warm_start = std::move(repair.forest);
+  // Refinement focus: the repair's touched region plus the delta's own
+  // nodes. The warm local-search run then only re-examines trees this
+  // revise actually disturbed.
+  std::vector<NodeId>& focus = plan.revised.options.focus;
+  focus = std::move(repair.touched);
+  for (const auto& [u, v] : delta.add_pairs) {
+    focus.push_back(u);
+    focus.push_back(v);
+  }
+  for (const auto& [u, v] : delta.remove_pairs) {
+    focus.push_back(u);
+    focus.push_back(v);
+  }
+  for (const auto& [v, label] : delta.add_terminals) focus.push_back(v);
+  for (const NodeId v : delta.remove_terminals) focus.push_back(v);
+  std::sort(focus.begin(), focus.end());
+  focus.erase(std::unique(focus.begin(), focus.end()), focus.end());
+  return plan;
+}
+
+IncrementalOutcome IncrementalSolve(const SolveRequest& base,
+                                    std::span<const EdgeId> base_forest,
+                                    const InstanceDelta& delta,
+                                    double max_delta_fraction) {
+  WarmStartPlan plan =
+      PrepareWarmStart(base, base_forest, delta, max_delta_fraction);
+  IncrementalOutcome out;
+  out.warm = plan.warm;
+  out.warm_weight = plan.warm_weight;
+  out.cold_reason = plan.cold_reason;
+  out.result = Solve(plan.revised);
+  if (plan.warm &&
+      (!out.result.feasible || out.result.weight > plan.warm_weight)) {
+    // Contractual backstop: the warm start is itself a validated feasible
+    // forest, so "never worse than the warm start" can always be honoured.
+    out.result.forest = plan.revised.options.warm_start;
+    std::sort(out.result.forest.begin(), out.result.forest.end());
+    out.result.weight = plan.warm_weight;
+    out.result.validated = true;
+    out.result.feasible = true;
+  }
+  return out;
+}
+
+}  // namespace dsf

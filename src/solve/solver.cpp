@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <numeric>
 #include <sstream>
 #include <thread>
 
@@ -121,7 +122,10 @@ class LocalSearchSolver final : public Solver {
                             std::uint64_t) const override {
     LocalSearchOptions lopt;
     lopt.cancel = options.cancel;
-    if (!options.warm_start.empty()) lopt.warm_start = &options.warm_start;
+    if (!options.warm_start.empty()) {
+      lopt.warm_start = &options.warm_start;
+      if (!options.focus.empty()) lopt.focus = &options.focus;
+    }
     auto res = LocalSearchSteinerForest(g, ic, lopt);
     SolverOutput out;
     out.forest = std::move(res.forest);
@@ -293,6 +297,7 @@ SolverOutput PortfolioSolver::SolveMinimal(const Graph& g,
       SolveOptions mo = options;
       mo.roster.clear();
       mo.race_first = false;
+      mo.latency_hints.clear();
       mo.deadline_ms = 0;  // the pipeline's deadline already wraps `cancel`
       const CancelToken* token = options.race_first ? &race : options.cancel;
       mo.cancel = token;
@@ -327,11 +332,23 @@ SolverOutput PortfolioSolver::SolveMinimal(const Graph& g,
     }
   };
 
+  // mode=first start order: historically-fastest members first (latency
+  // hints from the serve tier's p50 rings), so a width-starved race decides
+  // sooner. mode=all keeps the identity order — its pick is independent of
+  // start order, preserving bit-identity across hint states.
+  std::vector<int> order(static_cast<std::size_t>(count));
+  std::iota(order.begin(), order.end(), 0);
+  if (options.race_first && !options.latency_hints.empty()) {
+    order = PortfolioStartOrder(roster, options.latency_hints);
+  }
+  const auto run_slot = [&](int slot, int executor) {
+    run_member(order[static_cast<std::size_t>(slot)], executor);
+  };
   if (width <= 1 || count <= 1) {
-    for (int i = 0; i < count; ++i) run_member(i, 0);
+    for (int i = 0; i < count; ++i) run_slot(i, 0);
   } else {
     detail::RoundPool pool(width);
-    pool.ParallelFor(count, run_member);
+    pool.ParallelFor(count, run_slot);
   }
 
   // mode=first: the member that fired the CAS wins outright.
@@ -499,6 +516,32 @@ SolveResult SolveImpl(const SolveRequest& request, std::uint64_t seed,
 }
 
 }  // namespace
+
+std::vector<int> PortfolioStartOrder(
+    std::span<const std::string> roster,
+    std::span<const std::pair<std::string, double>> hints) {
+  const int n = static_cast<int>(roster.size());
+  std::vector<double> p50(static_cast<std::size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [name, ms] : hints) {
+      if (name == roster[static_cast<std::size_t>(i)]) {
+        p50[static_cast<std::size_t>(i)] = ms;
+        break;
+      }
+    }
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double pa = p50[static_cast<std::size_t>(a)];
+    const double pb = p50[static_cast<std::size_t>(b)];
+    const bool ha = pa >= 0.0;
+    const bool hb = pb >= 0.0;
+    if (ha != hb) return ha;  // members with history start first
+    return ha && pa < pb;     // fastest history first; stable otherwise
+  });
+  return order;
+}
 
 SolveResult Solve(const SolveRequest& request) {
   return SolveImpl(request, request.seed, request.options);

@@ -24,8 +24,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -72,6 +74,19 @@ struct SolveOptions {
   // building the Kruskal-prune seed (the incremental/online hook). Empty =
   // cold start.
   std::vector<EdgeId> warm_start;
+  // Refinement focus for a warm-started local-search: restrict improvement
+  // attempts to forest edges near one of these nodes (see
+  // LocalSearchOptions::focus). The incremental tier fills it with the
+  // delta-touched region so a revise pays for the neighbourhood the delta
+  // disturbed, not the whole forest. Ignored without a warm start; like
+  // warm_start, never part of cache keys.
+  std::vector<NodeId> focus;
+  // Observed per-solver p50 latencies (name, ms), e.g. the serve tier's
+  // latency rings. Read only by portfolio mode=first to start the
+  // historically-fastest member first (width-starved racers decide the race
+  // sooner); mode=all ignores them, and they are never part of cache keys —
+  // hints change who wins a race, never what a feasible answer is.
+  std::vector<std::pair<std::string, double>> latency_hints;
 };
 
 // One unit of work: a graph, an instance in either input form (Definition
@@ -153,6 +168,15 @@ class SolverRegistry {
   // All registered names, in the canonical order above.
   [[nodiscard]] static std::vector<std::string_view> Names();
 };
+
+// Start order of a portfolio race given latency hints: hinted members by
+// ascending p50, then unhinted members in roster (registry) order. With no
+// hints this is the identity — the registry-order fallback. Exposed for
+// tests; used by portfolio mode=first only (mode=all's result does not
+// depend on start order).
+std::vector<int> PortfolioStartOrder(
+    std::span<const std::string> roster,
+    std::span<const std::pair<std::string, double>> hints);
 
 // The shared pipeline. Throws std::logic_error (via DSF_CHECK) on unknown
 // solver names, non-finalized graphs, and disconnected topologies (which no

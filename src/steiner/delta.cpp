@@ -1,0 +1,96 @@
+#include "steiner/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsf {
+namespace {
+
+[[noreturn]] void FailDelta(const std::string& message) {
+  throw std::runtime_error("delta: " + message);
+}
+
+void CheckNode(NodeId v, int n, const char* what) {
+  if (v < 0 || v >= n) {
+    FailDelta(std::string(what) + " node " + std::to_string(v) +
+              " out of range [0, " + std::to_string(n) + ")");
+  }
+}
+
+// Removes exactly one occurrence of `w` from `requests`; false if absent.
+bool EraseRequest(std::vector<NodeId>& requests, NodeId w) {
+  const auto it = std::find(requests.begin(), requests.end(), w);
+  if (it == requests.end()) return false;
+  requests.erase(it);
+  return true;
+}
+
+}  // namespace
+
+CrInstance ApplyDelta(const CrInstance& base, const InstanceDelta& delta) {
+  if (!delta.MatchesForm(/*use_cr=*/true)) {
+    FailDelta("terminal edits do not apply to a CR instance");
+  }
+  const int n = base.NumNodes();
+  CrInstance out = base;
+  for (const auto& [u, v] : delta.remove_pairs) {
+    CheckNode(u, n, "remove_pairs");
+    CheckNode(v, n, "remove_pairs");
+    if (u == v) FailDelta("remove_pairs pair is degenerate (u == v)");
+    auto& ru = out.requests[static_cast<std::size_t>(u)];
+    auto& rv = out.requests[static_cast<std::size_t>(v)];
+    if (!EraseRequest(ru, v) || !EraseRequest(rv, u)) {
+      FailDelta("remove_pairs pair (" + std::to_string(u) + ", " +
+                std::to_string(v) + ") is not an active request");
+    }
+  }
+  for (const auto& [u, v] : delta.add_pairs) {
+    CheckNode(u, n, "add_pairs");
+    CheckNode(v, n, "add_pairs");
+    if (u == v) FailDelta("add_pairs pair is degenerate (u == v)");
+    auto& ru = out.requests[static_cast<std::size_t>(u)];
+    if (std::find(ru.begin(), ru.end(), v) != ru.end()) {
+      FailDelta("add_pairs pair (" + std::to_string(u) + ", " +
+                std::to_string(v) + ") is already requested");
+    }
+    ru.push_back(v);
+    out.requests[static_cast<std::size_t>(v)].push_back(u);
+  }
+  // Keep per-node request lists sorted so the revised instance is a pure
+  // function of the (base, delta) pair, independent of edit order within
+  // the delta.
+  for (auto& r : out.requests) std::sort(r.begin(), r.end());
+  return out;
+}
+
+IcInstance ApplyDelta(const IcInstance& base, const InstanceDelta& delta) {
+  if (!delta.MatchesForm(/*use_cr=*/false)) {
+    FailDelta("pair edits do not apply to an IC instance");
+  }
+  const int n = base.NumNodes();
+  IcInstance out = base;
+  for (const NodeId v : delta.remove_terminals) {
+    CheckNode(v, n, "remove_terminals");
+    auto& label = out.labels[static_cast<std::size_t>(v)];
+    if (label == kNoLabel) {
+      FailDelta("remove_terminals node " + std::to_string(v) +
+                " is not a terminal");
+    }
+    label = kNoLabel;
+  }
+  for (const auto& [v, l] : delta.add_terminals) {
+    CheckNode(v, n, "add_terminals");
+    if (l == kNoLabel || l < 0) {
+      FailDelta("add_terminals label " + std::to_string(l) + " is invalid");
+    }
+    auto& label = out.labels[static_cast<std::size_t>(v)];
+    if (label != kNoLabel) {
+      FailDelta("add_terminals node " + std::to_string(v) +
+                " is already a terminal");
+    }
+    label = l;
+  }
+  return out;
+}
+
+}  // namespace dsf

@@ -1,0 +1,58 @@
+// Instance deltas: the edit language of the incremental re-solve tier.
+//
+// Production traffic mutates a mostly-stable instance — demand pairs arrive
+// and depart on a fixed topology — so the service layer's `revise` op and the
+// churn workload sampler both speak in terms of an `InstanceDelta` applied to
+// a base instance. CR edits add/remove symmetric request pairs (Definition
+// 2.1); IC edits add/remove terminal-label assignments (Definition 2.2).
+// Application is deterministic and order-fixed (removals before additions),
+// so a delta names exactly one revised instance — the property the canonical
+// cache key of the revised instance relies on.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+struct InstanceDelta {
+  // CR edits: symmetric pairs, applied to CrInstance::requests both ways.
+  std::vector<std::pair<NodeId, NodeId>> add_pairs;
+  std::vector<std::pair<NodeId, NodeId>> remove_pairs;
+  // IC edits: terminal assignments. Removal clears the node's label.
+  std::vector<std::pair<NodeId, Label>> add_terminals;
+  std::vector<NodeId> remove_terminals;
+
+  [[nodiscard]] bool Empty() const noexcept {
+    return add_pairs.empty() && remove_pairs.empty() &&
+           add_terminals.empty() && remove_terminals.empty();
+  }
+  // Total number of edits (the "delta size" of the warm-path eligibility
+  // test in solve/incremental.hpp).
+  [[nodiscard]] int Size() const noexcept {
+    return static_cast<int>(add_pairs.size() + remove_pairs.size() +
+                            add_terminals.size() + remove_terminals.size());
+  }
+  // True when the delta only carries edits meaningful for the given input
+  // form (CR deltas must not carry terminal edits and vice versa).
+  [[nodiscard]] bool MatchesForm(bool use_cr) const noexcept {
+    return use_cr ? (add_terminals.empty() && remove_terminals.empty())
+                  : (add_pairs.empty() && remove_pairs.empty());
+  }
+};
+
+// Applies removals, then additions. Throws std::runtime_error (with the
+// offending edit) on: a node out of [0, n), a removal of a request that is
+// not present, an addition of a request already present, a degenerate pair
+// (u == v), removing a non-terminal, or re-labelling an existing terminal.
+// Strictness is deliberate: the revise op must reject deltas that silently
+// no-op, or the revised canonical key would not describe what the caller
+// believes it does.
+CrInstance ApplyDelta(const CrInstance& base, const InstanceDelta& delta);
+IcInstance ApplyDelta(const IcInstance& base, const InstanceDelta& delta);
+
+}  // namespace dsf

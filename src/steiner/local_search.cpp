@@ -107,9 +107,42 @@ LocalSearchResult LocalSearchSteinerForest(const Graph& g,
 
   using Item = std::pair<Weight, NodeId>;
 
+  const bool focused = options.focus != nullptr && !options.focus->empty() &&
+                       options.focus_radius >= 0;
+  std::vector<char> near_focus;           // nodes within focus_radius hops
+  std::vector<NodeId> frontier, next_frontier;
+
   for (int pass = 0; pass < options.max_passes; ++pass) {
     bool improved = false;
     const std::vector<EdgeId> snapshot = forest;  // edge-id order
+    if (focused) {
+      // Re-mark the focus neighbourhood against the current forest: a BFS
+      // over forest adjacency, depth-limited to focus_radius. Moves
+      // accepted later in the pass change the forest; the stale marking
+      // then merely skips some candidates until the next pass — a smaller
+      // move set, never a wrong one.
+      near_focus.assign(static_cast<std::size_t>(n), 0);
+      frontier.clear();
+      for (const NodeId v : *options.focus) {
+        if (v >= 0 && v < n && !near_focus[static_cast<std::size_t>(v)]) {
+          near_focus[static_cast<std::size_t>(v)] = 1;
+          frontier.push_back(v);
+        }
+      }
+      for (int depth = 0; depth < options.focus_radius && !frontier.empty();
+           ++depth) {
+        next_frontier.clear();
+        for (const NodeId u : frontier) {
+          for (const auto& [nb, id] : adj[static_cast<std::size_t>(u)]) {
+            if (!near_focus[static_cast<std::size_t>(nb)]) {
+              near_focus[static_cast<std::size_t>(nb)] = 1;
+              next_frontier.push_back(nb);
+            }
+          }
+        }
+        frontier.swap(next_frontier);
+      }
+    }
     for (const EdgeId e : snapshot) {
       if (IsCancelled(options.cancel)) {
         result.cancelled = true;
@@ -117,6 +150,10 @@ LocalSearchResult LocalSearchSteinerForest(const Graph& g,
       }
       if (!in_forest[static_cast<std::size_t>(e)]) continue;  // removed earlier
       const auto& edge = g.GetEdge(e);
+      if (focused && !near_focus[static_cast<std::size_t>(edge.u)] &&
+          !near_focus[static_cast<std::size_t>(edge.v)]) {
+        continue;  // outside the delta's neighbourhood
+      }
 
       // Split e's tree into its two sides.
       ++s.cur;

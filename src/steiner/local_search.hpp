@@ -31,6 +31,17 @@ struct LocalSearchOptions {
   // Optional warm start: a feasible, cycle-free forest to optimize instead
   // of the Kruskal-prune seed. Borrowed; validated with a DSF_CHECK.
   const std::vector<EdgeId>* warm_start = nullptr;
+  // Optional refinement focus: when non-empty, each pass only attempts
+  // moves on forest edges with an endpoint within `focus_radius` forest
+  // hops of a focus node (the region is re-marked at the start of every
+  // pass). The incremental tier passes the delta-touched region here so a
+  // warm re-solve pays for the neighbourhood the delta disturbed, not the
+  // whole forest — edges far from the delta were already at the base
+  // solve's fixed point. Purely a restriction of the move set: feasibility
+  // and the never-worse-than-warm-start guarantee are unaffected.
+  // Borrowed; out-of-range nodes are ignored.
+  const std::vector<NodeId>* focus = nullptr;
+  int focus_radius = 16;
   // Cooperative cancellation, polled per move. Unlike the constructive
   // solvers, a cancelled local search still returns a FEASIBLE forest
   // (the incumbent) unless the seed itself was cancelled mid-build.

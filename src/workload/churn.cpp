@@ -1,0 +1,109 @@
+#include "workload/churn.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/random.hpp"
+
+namespace dsf {
+namespace {
+
+struct ActivePair {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Label label = kNoLabel;
+};
+
+}  // namespace
+
+InstanceDelta ToDelta(const ChurnStep& step) {
+  InstanceDelta delta;
+  delta.add_terminals = step.add_terminals;
+  delta.remove_terminals = step.remove_terminals;
+  return delta;
+}
+
+IcInstance ChurnTrace::StateAt(int steps_applied) const {
+  IcInstance state = base;
+  for (int i = 0; i < steps_applied; ++i) {
+    state = ApplyDelta(state, ToDelta(steps[static_cast<std::size_t>(i)]));
+  }
+  return state;
+}
+
+ChurnTrace SampleChurnTrace(int n, int range, int pairs, int num_steps,
+                            int churn, std::uint64_t seed) {
+  if (range == 0) range = n;
+  if (range < 0 || range > n) {
+    throw std::runtime_error("churn: draw range " + std::to_string(range) +
+                             " outside [0, " + std::to_string(n) + "]");
+  }
+  if (pairs < 1) throw std::runtime_error("churn: needs at least one pair");
+  if (churn > pairs) {
+    throw std::runtime_error("churn: churn " + std::to_string(churn) +
+                             " exceeds the pair population " +
+                             std::to_string(pairs));
+  }
+  if (range < 2 * pairs + 2) {
+    throw std::runtime_error(
+        "churn: needs a draw range of at least 2 * pairs + 2 = " +
+        std::to_string(2 * pairs + 2) + " nodes, have " +
+        std::to_string(range));
+  }
+
+  SplitMix64 rng(seed);
+  std::vector<char> used(static_cast<std::size_t>(range), 0);
+  std::vector<ActivePair> active;
+  active.reserve(static_cast<std::size_t>(pairs));
+  Label next_label = 1;
+
+  const auto draw_free = [&]() {
+    NodeId v = 0;
+    do {
+      v = static_cast<NodeId>(rng.NextBelow(static_cast<std::uint64_t>(range)));
+    } while (used[static_cast<std::size_t>(v)]);
+    used[static_cast<std::size_t>(v)] = 1;
+    return v;
+  };
+  const auto arrive = [&]() {
+    ActivePair p;
+    p.u = draw_free();
+    p.v = draw_free();
+    p.label = next_label++;
+    active.push_back(p);
+    return p;
+  };
+
+  ChurnTrace trace;
+  std::vector<std::pair<NodeId, Label>> assign;
+  for (int i = 0; i < pairs; ++i) {
+    const ActivePair p = arrive();
+    assign.push_back({p.u, p.label});
+    assign.push_back({p.v, p.label});
+  }
+  trace.base = MakeIcInstance(n, assign);
+
+  trace.steps.reserve(static_cast<std::size_t>(num_steps));
+  for (int s = 0; s < num_steps; ++s) {
+    ChurnStep step;
+    for (int c = 0; c < churn; ++c) {
+      const auto idx = static_cast<std::size_t>(
+          rng.NextBelow(static_cast<std::uint64_t>(active.size())));
+      const ActivePair p = active[idx];
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(idx));
+      used[static_cast<std::size_t>(p.u)] = 0;
+      used[static_cast<std::size_t>(p.v)] = 0;
+      step.remove_terminals.push_back(p.u);
+      step.remove_terminals.push_back(p.v);
+    }
+    for (int c = 0; c < churn; ++c) {
+      const ActivePair p = arrive();
+      step.add_terminals.push_back({p.u, p.label});
+      step.add_terminals.push_back({p.v, p.label});
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+}  // namespace dsf

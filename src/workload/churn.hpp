@@ -1,0 +1,54 @@
+// Churn traces: demand arrival/departure streams over a stable graph.
+//
+// The repeat-traffic model of the incremental re-solve tier (DESIGN.md §5):
+// a base population of demand pairs on a fixed topology, mutated step by
+// step — each step retires `churn` random active pairs and admits `churn`
+// fresh ones, keeping the population size constant. Pairs are node-disjoint
+// (every node serves at most one active pair), so each pair maps to its own
+// IC component and a step is exactly an `InstanceDelta` of terminal edits.
+//
+// Determinism contract: the trace is a pure function of its arguments, and
+// it is prefix-stable — SampleChurnTrace(..., steps = k) agrees with the
+// first k steps of SampleChurnTrace(..., steps = k + j). That is what lets
+// a client, the churn sampler, and bench_serve independently reconstruct
+// the same delta chain from one seed, and what makes the revised canonical
+// key of "state k-1 + step k" equal the cold key of state k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "steiner/delta.hpp"
+#include "steiner/instance.hpp"
+
+namespace dsf {
+
+// One churn step: departures first, then arrivals (matching ApplyDelta's
+// removals-before-additions order). Arriving pairs carry fresh labels —
+// labels grow monotonically along the trace and are never reused.
+struct ChurnStep {
+  std::vector<std::pair<NodeId, Label>> add_terminals;
+  std::vector<NodeId> remove_terminals;
+};
+
+// The step as the delta language of the revise op speaks it.
+InstanceDelta ToDelta(const ChurnStep& step);
+
+struct ChurnTrace {
+  IcInstance base;               // state 0: the initial pair population
+  std::vector<ChurnStep> steps;  // steps[i] maps state i to state i + 1
+  // State after applying the first `steps_applied` steps to the base, via
+  // the same ApplyDelta the serve tier uses (bit-equal label vectors).
+  [[nodiscard]] IcInstance StateAt(int steps_applied) const;
+};
+
+// Samples a trace of `num_steps` steps over `pairs` node-disjoint pairs
+// drawn from node ids [0, range) (range == 0 means all of [0, n)). Throws
+// std::runtime_error when the draw cannot work (churn > pairs, or fewer
+// than 2 * pairs + 2 nodes in the draw range, which rejection sampling
+// needs to terminate promptly).
+ChurnTrace SampleChurnTrace(int n, int range, int pairs, int num_steps,
+                            int churn, std::uint64_t seed);
+
+}  // namespace dsf

@@ -7,6 +7,7 @@
 
 #include "common/random.hpp"
 #include "graph/shortest_paths.hpp"
+#include "workload/churn.hpp"
 
 namespace dsf {
 
@@ -216,7 +217,32 @@ WorkloadInstance SampleCornersCr(const Graph& g, const ParamMap& pm,
   return inst;
 }
 
-constexpr std::array<InstanceSampler, 4> kSamplers{{
+constexpr ParamSpec kChurnParams[] = {
+    {"pairs", Kind::kInt, "node-disjoint demand pairs kept active", 8, 1, 128},
+    {"churn", Kind::kInt, "pairs retired + admitted per step", 1, 0, 64},
+    {"steps", Kind::kInt, "churn steps applied before materializing", 0, 0,
+     100'000},
+    kSpanSpec,
+    kSaltSpec,
+};
+WorkloadInstance SampleChurn(const Graph& g, const ParamMap& pm,
+                             std::uint64_t seed) {
+  const int range = DrawRange("churn", g, pm);
+  const int pairs = static_cast<int>(pm.GetInt("pairs"));
+  const int churn = static_cast<int>(pm.GetInt("churn"));
+  const int steps = static_cast<int>(pm.GetInt("steps"));
+  ChurnTrace trace;
+  try {
+    trace = SampleChurnTrace(g.NumNodes(), range, pairs, steps, churn, seed);
+  } catch (const std::runtime_error& e) {
+    FailSampler("churn", e.what());
+  }
+  WorkloadInstance inst;
+  inst.ic = trace.StateAt(steps);
+  return inst;
+}
+
+constexpr std::array<InstanceSampler, 5> kSamplers{{
     {"random-ic", "k components x tpc terminals on distinct uniform nodes",
      kRandomIcParams, SampleRandomIc},
     {"random-cr", "distinct symmetric connection requests on uniform nodes",
@@ -225,6 +251,8 @@ constexpr std::array<InstanceSampler, 4> kSamplers{{
      kCornersIcParams, SampleCornersIc},
     {"corners-cr", "farthest-point endpoints paired across opposite halves",
      kCornersCrParams, SampleCornersCr},
+    {"churn", "state of an arrival/departure pair stream after `steps` steps",
+     kChurnParams, SampleChurn},
 }};
 
 }  // namespace

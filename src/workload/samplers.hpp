@@ -7,6 +7,9 @@
 //   corners-ic  farthest-point placement (metric corners), labels striped so
 //               every component spans the graph
 //   corners-cr  farthest-point placement, node i paired with node i+pairs
+//   churn       state of a node-disjoint pair arrival/departure stream after
+//               `steps` steps (workload/churn.hpp) — the repeat-traffic model
+//               of the incremental re-solve tier
 //
 // `span` (random-* only) restricts draws to node ids [0, span) — on
 // subdivided graphs, whose base nodes are the id prefix, the same seed then

@@ -343,6 +343,60 @@ TEST(WorkloadAsDirectiveTest, ParsesAndValidatesSolverSpecs) {
   EXPECT_EQ(spec.solvers[1], "mst-prune");
 }
 
+// --- latency-aware start order (mode=first) ---------------------------------
+
+TEST(PortfolioStartOrderTest, HintedMembersLeadByAscendingP50) {
+  const std::vector<std::string> roster = {"gw-moat", "mst-prune",
+                                           "greedy-merge", "local-search"};
+  const std::vector<std::pair<std::string, double>> hints = {
+      {"greedy-merge", 0.2}, {"gw-moat", 5.0}, {"local-search", 1.5}};
+  const std::vector<int> order = PortfolioStartOrder(roster, hints);
+  // greedy-merge (0.2) first, then local-search (1.5), then gw-moat (5.0);
+  // unhinted mst-prune trails in roster order.
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 0, 1}));
+}
+
+TEST(PortfolioStartOrderTest, NoHintsKeepsRosterOrder) {
+  const std::vector<std::string> roster = {"gw-moat", "mst-prune",
+                                           "local-search"};
+  EXPECT_EQ(PortfolioStartOrder(roster, {}),
+            (std::vector<int>{0, 1, 2}));
+  // Hints naming no roster member are equivalent to no hints.
+  const std::vector<std::pair<std::string, double>> strangers = {
+      {"exact", 0.1}};
+  EXPECT_EQ(PortfolioStartOrder(roster, strangers),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PortfolioStartOrderTest, TiesAndPartialHintsAreStable) {
+  const std::vector<std::string> roster = {"a", "b", "c", "d"};
+  // Equal p50s keep roster order among themselves (stable sort).
+  const std::vector<std::pair<std::string, double>> tied = {
+      {"c", 1.0}, {"b", 1.0}};
+  EXPECT_EQ(PortfolioStartOrder(roster, tied),
+            (std::vector<int>{1, 2, 0, 3}));
+}
+
+TEST(PortfolioStartOrderTest, HintsNeverChangeTheAnswerOnlyTheStart) {
+  // mode=first with hints still returns a feasible result; mode=all with
+  // hints is bit-identical to mode=all without (hints are ignored there).
+  SplitMix64 rng(77);
+  const Graph g = MakeGrid(6, 6, 1, 5, rng);
+  const IcInstance ic =
+      MakeIcInstance(36, {{0, 1}, {35, 1}, {5, 2}, {30, 2}});
+  SolveOptions plain;
+  SolveOptions hinted;
+  hinted.latency_hints = {{"local-search", 0.1}, {"gw-moat", 9.0}};
+  const SolveResult all_plain = Solve("portfolio(mode=all)", g, ic, plain, 3);
+  const SolveResult all_hinted =
+      Solve("portfolio(mode=all)", g, ic, hinted, 3);
+  EXPECT_EQ(all_plain.forest, all_hinted.forest);
+  EXPECT_EQ(all_plain.weight, all_hinted.weight);
+  const SolveResult first_hinted =
+      Solve("portfolio(mode=first)", g, ic, hinted, 3);
+  EXPECT_TRUE(first_hinted.feasible);
+}
+
 TEST(WorkloadAsDirectiveTest, RejectsMisplacedOrBadDirectives) {
   const std::vector<std::string> bad = {
       // after the first graph source

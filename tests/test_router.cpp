@@ -157,6 +157,30 @@ TEST(RouterKeyTest, NestedObjectsSortAndNumbersStayRaw) {
   EXPECT_NE(key(R"({"e":1000})"), key(R"({"e":1e3})"));
 }
 
+TEST(RouterKeyTest, ReviseAffinityFollowsTheBaseSolve) {
+  // Ring placement for a revise must equal the placement of the solve that
+  // produced its base, so the revise lands where the base result is cached.
+  const JsonValue solve =
+      ParseJson(R"({"op":"solve","generate":"grid","seed":7})");
+  const JsonValue revise = ParseJson(
+      R"({"op":"revise","generate":"grid","seed":7,)"
+      R"("base":"00112233445566778899aabbccddeeff",)"
+      R"("delta":{"add_terminals":[[1,2]]},"mode":"warm"})");
+  EXPECT_EQ(RouteAffinityText(revise), CanonicalRequestText(solve));
+  // Different deltas against one base share placement...
+  const JsonValue other_delta = ParseJson(
+      R"({"op":"revise","generate":"grid","seed":7,)"
+      R"("base":"00112233445566778899aabbccddeeff",)"
+      R"("delta":{"remove_terminals":[4]}})");
+  EXPECT_EQ(RouteAffinityText(revise), RouteAffinityText(other_delta));
+  // ...but distinct base framings do not.
+  const JsonValue other_solve =
+      ParseJson(R"({"op":"solve","generate":"grid","seed":8})");
+  EXPECT_NE(RouteAffinityText(revise), CanonicalRequestText(other_solve));
+  // Non-revise requests pass through unchanged.
+  EXPECT_EQ(RouteAffinityText(solve), CanonicalRequestText(solve));
+}
+
 // --- hot cache ---------------------------------------------------------------
 
 TEST(HotCacheTest, LruEvictionAndCounters) {
@@ -627,6 +651,77 @@ TEST(RouterTest, ForwardsProtocolErrorsWithoutBlamingBackends) {
   // Error replies are never hot-cached.
   EXPECT_EQ(router.HotCacheCounters().inserts, 0u);
 
+  router.RequestShutdown();
+  EXPECT_EQ(router.Wait(), 0);
+}
+
+TEST(RouterTest, ReviseLandsOnTheBackendHoldingItsBase) {
+  // Solve then revise through a 3-shard router: the affinity rewrite must
+  // place the revise on the shard that cached the base (warm + base_hit),
+  // and the response must be byte-comparable to the same solve + revise
+  // against a single direct server.
+  Server s1((ServeOptions())), s2((ServeOptions())), s3((ServeOptions()));
+  s1.Start();
+  s2.Start();
+  s3.Start();
+  Router router(FastRouter({s1.Port(), s2.Port(), s3.Port()}));
+  router.Start();
+
+  // 8 terminals keep a 2-edit delta warm-eligible at the default 0.25
+  // fraction (limit = 2).
+  const std::string spec =
+      "seed 9\n"
+      "graph 12\n"
+      "edge 0 1 2\nedge 1 2 3\nedge 2 3 1\nedge 3 4 4\nedge 4 5 1\n"
+      "edge 5 6 2\nedge 6 7 3\nedge 7 8 1\nedge 8 9 2\nedge 9 10 4\n"
+      "edge 10 11 1\nedge 0 11 2\n"
+      "ic ring\n"
+      "terminal 0 1\nterminal 3 1\nterminal 1 2\nterminal 5 2\n"
+      "terminal 6 3\nterminal 9 3\nterminal 2 4\nterminal 8 4\n";
+  const std::string solve_line = R"({"op":"solve","spec":)" +
+                                 EscapeForJson(spec) +
+                                 R"(,"solvers":["local-search"]})";
+  const auto revise_line = [&](const std::string& base_key) {
+    return R"({"op":"revise","spec":)" + EscapeForJson(spec) +
+           R"(,"solvers":["local-search"],"base":")" + base_key +
+           R"(","delta":{"add_terminals":[[4,5],[10,5]]}})";
+  };
+
+  ClientConnection conn("127.0.0.1", router.Port());
+  const JsonValue solve = conn.RoundTrip(solve_line);
+  ASSERT_TRUE(solve.GetBool("ok", false)) << solve.GetString("error", "");
+  const std::string base_key =
+      solve.Find("results")->array[0].GetString("key", "");
+  ASSERT_EQ(base_key.size(), 32u);
+
+  const JsonValue revise = conn.RoundTrip(revise_line(base_key));
+  ASSERT_TRUE(revise.GetBool("ok", false)) << revise.GetString("error", "");
+  EXPECT_TRUE(revise.GetBool("base_hit", false));
+  EXPECT_TRUE(revise.GetBool("warm", false));
+  EXPECT_TRUE(revise.Find("results")->array[0].GetBool("feasible", false));
+
+  // Same flow against a direct server: identical weight/edges/key.
+  Server direct((ServeOptions()));
+  direct.Start();
+  ClientConnection direct_conn("127.0.0.1", direct.Port());
+  const JsonValue want_solve = direct_conn.RoundTrip(solve_line);
+  ASSERT_TRUE(want_solve.GetBool("ok", false));
+  const std::string want_key =
+      want_solve.Find("results")->array[0].GetString("key", "");
+  EXPECT_EQ(base_key, want_key);
+  const JsonValue want = direct_conn.RoundTrip(revise_line(want_key));
+  ASSERT_TRUE(want.GetBool("ok", false)) << want.GetString("error", "");
+  ASSERT_TRUE(want.GetBool("warm", false));
+  const auto got_cells = CellsOf(revise);
+  const auto want_cells = CellsOf(want);
+  ASSERT_EQ(got_cells.size(), 1u);
+  ASSERT_EQ(want_cells.size(), 1u);
+  EXPECT_EQ(got_cells[0].weight, want_cells[0].weight);
+  EXPECT_EQ(got_cells[0].edges, want_cells[0].edges);
+  EXPECT_EQ(revise.GetString("key", ""), want.GetString("key", ""));
+
+  direct.RequestShutdown();
+  EXPECT_EQ(direct.Wait(), 0);
   router.RequestShutdown();
   EXPECT_EQ(router.Wait(), 0);
 }
