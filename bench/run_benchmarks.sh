@@ -106,6 +106,24 @@ run_bench bench_portfolio "$OUT_DIR/BENCH_portfolio.json"
 run_bench bench_rounds_vs_n "$OUT_DIR/BENCH_smoke.json" \
   --benchmark_filter='BM_DetRoundsVsN/64'
 
+# The suite wall: the committed bench/SUITE_baseline.json must still match
+# a fresh run of the quality/latency matrix (dsf suite --check, DESIGN.md
+# §9). A stale baseline — solver drift, corpus edits, roster changes — fails
+# the whole benchmark recording loudly rather than letting BENCH_*.json
+# trajectories ride on silently changed solver behavior. Regenerate
+# deliberately with `$BUILD_DIR/dsf suite --record` after intended changes.
+if [ ! -x "$BUILD_DIR/dsf" ]; then
+  echo "error: $BUILD_DIR/dsf not built (cmake --build $BUILD_DIR --target dsf_cli)" >&2
+  exit 1
+fi
+echo "running dsf suite --check against bench/SUITE_baseline.json" >&2
+if ! "$BUILD_DIR/dsf" suite --check --out "$OUT_DIR/SUITE_fresh.json"; then
+  echo "error: the suite baseline is stale; inspect $OUT_DIR/SUITE_fresh.json" \
+       "and re-record deliberately with: $BUILD_DIR/dsf suite --record" >&2
+  exit 1
+fi
+
 echo "wrote $OUT_DIR/BENCH_simulator.json, $OUT_DIR/BENCH_batch.json," \
      "$OUT_DIR/BENCH_serve.json, $OUT_DIR/BENCH_router.json," \
-     "$OUT_DIR/BENCH_portfolio.json, and $OUT_DIR/BENCH_smoke.json"
+     "$OUT_DIR/BENCH_portfolio.json, $OUT_DIR/BENCH_smoke.json," \
+     "and $OUT_DIR/SUITE_fresh.json"

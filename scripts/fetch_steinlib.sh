@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fetches real SteinLib instance sets into scenarios/suite/steinlib/.
+#
+# The suite manifest lists these as `optional-stp` sources: absent files are
+# skipped (and recorded in the baseline), so the wall runs offline on the
+# committed lookalike corpus alone. After fetching, the manifest digest
+# changes — regenerate the baseline deliberately:
+#
+#   scripts/fetch_steinlib.sh        # downloads set B (b01.stp, ...)
+#   ./build/dsf suite --record
+#
+# SteinLib home: https://steinlib.zib.de/ (Koch, Martin, Voss). Sets are
+# distributed as .tgz archives of .stp files.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DEST=scenarios/suite/steinlib
+BASE_URL=${STEINLIB_BASE_URL:-https://steinlib.zib.de/download}
+SETS=${STEINLIB_SETS:-B}
+
+command -v curl >/dev/null || { echo "fetch_steinlib: needs curl" >&2; exit 1; }
+mkdir -p "$DEST"
+
+for set_name in $SETS; do
+  archive="$DEST/$set_name.tgz"
+  echo "fetching SteinLib set $set_name ..."
+  curl -fsSL "$BASE_URL/$set_name.tgz" -o "$archive"
+  tar -xzf "$archive" -C "$DEST"
+  rm -f "$archive"
+done
+
+# Archives may unpack into a per-set subdirectory; flatten to $DEST.
+find "$DEST" -mindepth 2 -name '*.stp' -exec mv -n {} "$DEST"/ \;
+find "$DEST" -mindepth 1 -type d -empty -delete
+
+count=$(find "$DEST" -maxdepth 1 -name '*.stp' | wc -l)
+echo "fetched $count .stp files into $DEST"
+echo "the manifest digest changed: re-record the baseline with"
+echo "  ./build/dsf suite --record"

@@ -10,7 +10,9 @@
 // The `serve`, `shard-router`, and `client` subcommands front the resident
 // service layer (src/serve/, DESIGN.md §5): a persistent socket server with
 // a canonical-hash result cache, a fault-tolerant router spreading requests
-// over several such servers, and a line-protocol client for both.
+// over several such servers, and a line-protocol client for both. The
+// `suite` subcommand runs the benchmark wall (src/suite/, DESIGN.md §9):
+// manifest-driven corpus, per-solver baselines, and regression gating.
 //
 //   dsf --scenario FILE [--solvers all|spec,spec,...] [--seed N]
 //       [--threads N] [--epsilon X] [--repetitions N] [--deadline-ms N]
@@ -26,6 +28,9 @@
 //       [--seed N] [--epsilon X] [--repetitions N] [--deadline-ms N]
 //       [--no-prune] [--repeat N] [--retries N] [--backoff-ms N]
 //       [--json FILE] [--revise KEY [--delta SPEC] [--revise-mode M]]
+//   dsf suite [--manifest FILE] [--baseline FILE] [--record | --check]
+//       [--out FILE] [--threads N] [--emit-corpus DIR]
+//       [--inject-cost N] [--inject-p95-ms X]
 //   dsf --list-solvers
 //   dsf --list-generators
 #include <cerrno>
@@ -46,6 +51,11 @@
 #include "solve/solver.hpp"
 #include "solve/solver_spec.hpp"
 #include "steiner/exact.hpp"
+#include "suite/baseline.hpp"
+#include "suite/check.hpp"
+#include "suite/corpus.hpp"
+#include "suite/manifest.hpp"
+#include "suite/runner.hpp"
 #include "workload/generators.hpp"
 #include "workload/samplers.hpp"
 #include "workload/spec.hpp"
@@ -79,6 +89,8 @@ void PrintUsage(std::FILE* out) {
                "       dsf client (--scenario FILE | --generate SPEC |"
                " --stats | --ping)\n"
                "                  [--port N] [--repeat N] [options]\n"
+               "       dsf suite [--manifest FILE] [--record | --check]"
+               " (see dsf suite -h)\n"
                "       dsf --list-solvers\n"
                "       dsf --list-generators\n"
                "\n"
@@ -1015,6 +1027,170 @@ int RunShardRouterCommand(int argc, char** argv) {
   return RunShardRouter(options);
 }
 
+void PrintSuiteUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: dsf suite [--manifest FILE] [--record | --check |"
+               " --emit-corpus DIR]\n"
+               "                 [options]\n"
+               "\n"
+               "Runs the benchmark wall: every instance of the manifest"
+               " against every\n"
+               "solver of its roster, measuring cost, ratio vs the dual"
+               " lower bound,\n"
+               "rounds, messages, and p50/p95 latency per cell.\n"
+               "\n"
+               "options:\n"
+               "  --manifest FILE     suite manifest (default\n"
+               "                      scenarios/suite/manifest.dsf-suite)\n"
+               "  --baseline FILE     committed baseline path (default\n"
+               "                      bench/SUITE_baseline.json)\n"
+               "  --record            write the fresh run to --baseline"
+               " (regenerates the\n"
+               "                      committed wall; do this deliberately)\n"
+               "  --check             diff the fresh run against --baseline:"
+               " quality exact,\n"
+               "                      p95 banded; exit 1 with a regression"
+               " table on drift\n"
+               "  --out FILE          also write the fresh run's JSON to"
+               " FILE\n"
+               "  --threads N         batch executors (0 = hardware"
+               " concurrency)\n"
+               "  --emit-corpus DIR   write the deterministic instance corpus"
+               " into DIR\n"
+               "                      and exit (CI diffs it against"
+               " scenarios/suite/)\n"
+               "  --inject-cost N     test hook: add N to every cell's cost"
+               " after measuring\n"
+               "  --inject-p95-ms X   test hook: add X ms to every cell's"
+               " p95\n"
+               "\n"
+               "With neither --record nor --check, the fresh baseline JSON"
+               " goes to stdout\n"
+               "(or --out).\n");
+}
+
+int RunSuiteCommand(int argc, char** argv) {
+  std::string manifest_path = "scenarios/suite/manifest.dsf-suite";
+  std::string baseline_path = "bench/SUITE_baseline.json";
+  std::string out_path;
+  std::string corpus_dir;
+  bool record = false;
+  bool check = false;
+  SuiteRunOptions run_options;
+  std::string error;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        error = "missing value for " + flag;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    long long value = 0;
+    if (flag == "--help" || flag == "-h") {
+      PrintSuiteUsage(stdout);
+      return 0;
+    } else if (flag == "--manifest") {
+      const char* v = need_value();
+      if (!v) break;
+      manifest_path = v;
+    } else if (flag == "--baseline") {
+      const char* v = need_value();
+      if (!v) break;
+      baseline_path = v;
+    } else if (flag == "--out") {
+      const char* v = need_value();
+      if (!v) break;
+      out_path = v;
+    } else if (flag == "--record") {
+      record = true;
+    } else if (flag == "--check") {
+      check = true;
+    } else if (flag == "--emit-corpus") {
+      const char* v = need_value();
+      if (!v) break;
+      corpus_dir = v;
+    } else if (flag == "--threads") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--threads", v, value, error)) break;
+      if (value < 0 || value > 1024) {
+        error = "--threads must be in [0, 1024]";
+        break;
+      }
+      run_options.threads = static_cast<int>(value);
+    } else if (flag == "--inject-cost") {
+      const char* v = need_value();
+      if (!v || !ParseI64("--inject-cost", v, value, error)) break;
+      run_options.inject_cost_delta = value;
+    } else if (flag == "--inject-p95-ms") {
+      const char* v = need_value();
+      Real ms = 0.0L;
+      if (!v || !ParseReal("--inject-p95-ms", v, ms, error)) break;
+      if (ms < 0.0L) {
+        error = "--inject-p95-ms must be >= 0";
+        break;
+      }
+      run_options.inject_p95_ms = static_cast<double>(ms);
+    } else {
+      error = "unknown flag: " + flag;
+      break;
+    }
+  }
+  if (error.empty() && record && check) {
+    error = "--record and --check are mutually exclusive";
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "dsf suite: %s\n", error.c_str());
+    PrintSuiteUsage(stderr);
+    return 2;
+  }
+
+  if (!corpus_dir.empty()) {
+    EmitSuiteCorpus(corpus_dir);
+    std::printf("dsf suite: wrote %zu corpus files to %s\n",
+                SuiteCorpusFiles().size(), corpus_dir.c_str());
+    return 0;
+  }
+
+  const SuiteManifest manifest = LoadSuiteManifest(manifest_path);
+  SuiteBaseline fresh = RunSuite(manifest, run_options);
+  fresh.manifest = manifest_path;
+  fresh.manifest_digest = SuiteDigest(manifest);
+  for (const std::string& path : fresh.skipped_sources) {
+    std::fprintf(stderr,
+                 "dsf suite: note: optional source '%s' absent, skipped "
+                 "(scripts/fetch_steinlib.sh fetches real sets)\n",
+                 path.c_str());
+  }
+
+  if (!out_path.empty()) SaveSuiteBaseline(out_path, fresh);
+
+  if (record) {
+    SaveSuiteBaseline(baseline_path, fresh);
+    std::printf("dsf suite: recorded %zu cells (%zu solvers x %zu instances)"
+                " to %s [digest %s]\n",
+                fresh.cells.size(), fresh.solvers.size(),
+                fresh.solvers.empty()
+                    ? static_cast<std::size_t>(0)
+                    : fresh.cells.size() / fresh.solvers.size(),
+                baseline_path.c_str(), fresh.manifest_digest.c_str());
+    return 0;
+  }
+  if (check) {
+    const SuiteBaseline committed = LoadSuiteBaseline(baseline_path);
+    const SuiteCheckResult result = CompareBaselines(committed, fresh);
+    std::fputs(result.report.c_str(), result.ok ? stdout : stderr);
+    return result.ok ? 0 : 1;
+  }
+
+  // Plain run: emit the fresh baseline document.
+  if (out_path.empty()) {
+    std::fputs(SuiteBaselineToJson(fresh).c_str(), stdout);
+  }
+  return 0;
+}
+
 void PrintGenerators() {
   std::printf("generators (graph sources for 'generate <family> k=v ...'):\n");
   for (const auto name : GeneratorRegistry::Names()) {
@@ -1062,6 +1238,14 @@ int main(int argc, char** argv) {
       return dsf::RunClientCommand(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "dsf client: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "suite") == 0) {
+    try {
+      return dsf::RunSuiteCommand(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dsf suite: %s\n", e.what());
       return 2;
     }
   }

@@ -1,0 +1,11 @@
+#include "lowerbounds/dual_bound.hpp"
+
+namespace dsf {
+
+Fixed DualLowerBound(const Graph& g, const IcInstance& ic) {
+  const IcInstance minimal = MakeMinimal(ic);
+  if (minimal.NumTerminals() == 0) return 0;
+  return CentralizedMoatGrowing(g, minimal, MoatOptions{}).dual_sum;
+}
+
+}  // namespace dsf

@@ -1,0 +1,25 @@
+// Instance-specific dual lower bound on OPT.
+//
+// Lemma C.4: the moat-growing dual Σ_i act_i µ_i accumulated by Algorithm 1
+// is a lower bound on the weight of ANY feasible Steiner forest for the
+// instance. Unlike the communication-complexity bounds in disjointness.*
+// (which bound rounds of hypothetical protocols), this bounds the objective
+// itself — which makes it the denominator of the suite's per-cell
+// approximation ratio: cost / FixedToReal(DualLowerBound(...)) certifies an
+// upper bound on how far each solver is from optimal without ever running
+// the (exponential) exact solver.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "steiner/instance.hpp"
+#include "steiner/moat.hpp"
+
+namespace dsf {
+
+// The Lemma C.4 dual for `ic` on `g`, in Fixed units. Deterministic —
+// Algorithm 1's event schedule is exact fixed-point arithmetic, so the value
+// is bit-stable across platforms and thread counts. Instances whose minimal
+// reduction has no terminals (nothing to connect) have bound 0.
+Fixed DualLowerBound(const Graph& g, const IcInstance& ic);
+
+}  // namespace dsf

@@ -1,0 +1,117 @@
+#include "suite/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "graph/generators.hpp"
+#include "workload/churn.hpp"
+
+namespace dsf {
+
+namespace {
+
+// One B/C/D-lookalike: a connected sparse random graph with `terminals`
+// distinct terminal nodes, rendered in strict SteinLib form (1-based ids,
+// declared counts equal to line counts, EOF trailer) so the importer's
+// hardening is exercised by real files, not synthetic streams.
+struct StpShape {
+  const char* name;
+  int n;
+  double p;
+  int terminals;
+  std::uint64_t seed;
+};
+
+// Sized like SteinLib's B (50 nodes), C, and D tiers but capped for CI:
+// every committed instance runs through five solvers (including a CONGEST
+// simulation) in the suite wall on every push.
+constexpr StpShape kShapes[] = {
+    {"b_like_01", 50, 0.08, 9, 1001},
+    {"b_like_02", 50, 0.12, 9, 1002},
+    {"c_like_01", 100, 0.05, 12, 1003},
+    {"c_like_02", 100, 0.08, 12, 1004},
+    {"d_like_01", 160, 0.03, 16, 1005},
+    {"d_like_02", 160, 0.05, 16, 1006},
+};
+
+std::string RenderStp(const StpShape& shape) {
+  SplitMix64 rng(shape.seed);
+  const Graph g = MakeConnectedRandom(shape.n, shape.p, 1, 10, rng);
+
+  // Distinct terminals, drawn after the graph so topology and terminal set
+  // come from one stream; sorted because SteinLib files list them sorted.
+  std::vector<NodeId> terminals;
+  std::vector<char> used(static_cast<std::size_t>(shape.n), 0);
+  while (static_cast<int>(terminals.size()) < shape.terminals) {
+    const NodeId v = static_cast<NodeId>(
+        rng.NextBelow(static_cast<std::uint64_t>(shape.n)));
+    if (used[static_cast<std::size_t>(v)]) continue;
+    used[static_cast<std::size_t>(v)] = 1;
+    terminals.push_back(v);
+  }
+  std::sort(terminals.begin(), terminals.end());
+
+  std::ostringstream os;
+  os << "33D32945 STP File, STP Format Version 1.0\n";
+  os << "\n";
+  os << "SECTION Comment\n";
+  os << "Name \"" << shape.name << "\"\n";
+  os << "Creator \"dsf suite --emit-corpus (deterministic)\"\n";
+  os << "Remark \"SteinLib-class lookalike; do not hand-edit\"\n";
+  os << "END\n";
+  os << "\n";
+  os << "SECTION Graph\n";
+  os << "Nodes " << g.NumNodes() << "\n";
+  os << "Edges " << g.NumEdges() << "\n";
+  for (const Edge& e : g.Edges()) {
+    os << "E " << (e.u + 1) << " " << (e.v + 1) << " " << e.w << "\n";
+  }
+  os << "END\n";
+  os << "\n";
+  os << "SECTION Terminals\n";
+  os << "Terminals " << terminals.size() << "\n";
+  for (const NodeId v : terminals) os << "T " << (v + 1) << "\n";
+  os << "END\n";
+  os << "\n";
+  os << "EOF\n";
+  return os.str();
+}
+
+std::string RenderChurnTrace() {
+  // Matches the er n=100 case in scenarios/suite/adversarial.dsf: 8
+  // node-disjoint pairs over all 100 nodes, 6 steps of 2 retire/admit each.
+  const ChurnTrace trace = SampleChurnTrace(100, 0, 8, 6, 2, 77);
+  std::ostringstream os;
+  WriteChurnTrace(os, trace);
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<CorpusFile> SuiteCorpusFiles() {
+  std::vector<CorpusFile> files;
+  for (const StpShape& shape : kShapes) {
+    files.push_back({std::string(shape.name) + ".stp", RenderStp(shape)});
+  }
+  files.push_back({"churn_base.trace", RenderChurnTrace()});
+  return files;
+}
+
+void EmitSuiteCorpus(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const CorpusFile& file : SuiteCorpusFiles()) {
+    const std::string path =
+        (std::filesystem::path(dir) / file.name).string();
+    std::ofstream out(path, std::ios::out | std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write corpus file: " + path);
+    out << file.content;
+    out.flush();
+    if (!out) throw std::runtime_error("failed writing corpus file: " + path);
+  }
+}
+
+}  // namespace dsf

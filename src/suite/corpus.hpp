@@ -1,0 +1,31 @@
+// The checked-in instance corpus, generated deterministically.
+//
+// SteinLib's B/C/D classes are sparse random graphs at increasing scale
+// with small terminal sets; the corpus emits structural lookalikes (same
+// shape, sized for CI budgets) in SteinLib's own .stp format, so the suite
+// exercises the real importer path end-to-end, plus the churn trace the
+// manifest's replay instances consume. Everything is a pure function of
+// hard-coded seeds: `dsf suite --emit-corpus <dir>` reproduces the
+// committed files byte-for-byte, which CI uses to detect hand-edits that
+// would silently diverge from the generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsf {
+
+struct CorpusFile {
+  std::string name;     // file name, e.g. "b_like_01.stp"
+  std::string content;  // exact bytes
+};
+
+// The full corpus in deterministic order: six B/C/D-class .stp lookalikes
+// and the churn replay trace.
+std::vector<CorpusFile> SuiteCorpusFiles();
+
+// Writes every corpus file into `dir` (created if needed). Throws
+// std::runtime_error on I/O failure.
+void EmitSuiteCorpus(const std::string& dir);
+
+}  // namespace dsf

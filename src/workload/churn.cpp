@@ -1,9 +1,13 @@
 #include "workload/churn.hpp"
 
+#include <fstream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "common/random.hpp"
+#include "common/text.hpp"
 
 namespace dsf {
 namespace {
@@ -13,6 +17,13 @@ struct ActivePair {
   NodeId v = kNoNode;
   Label label = kNoLabel;
 };
+
+[[noreturn]] void FailTrace(std::string_view origin, int line,
+                            const std::string& what) {
+  std::ostringstream os;
+  os << origin << ":" << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
 
 }  // namespace
 
@@ -104,6 +115,208 @@ ChurnTrace SampleChurnTrace(int n, int range, int pairs, int num_steps,
     trace.steps.push_back(std::move(step));
   }
   return trace;
+}
+
+void WriteChurnTrace(std::ostream& out, const ChurnTrace& trace) {
+  out << "dsf-churn 1\n";
+  out << "nodes " << trace.base.NumNodes() << "\n";
+  const std::vector<NodeId> terminals = trace.base.Terminals();
+  out << "base " << terminals.size() << "\n";
+  for (const NodeId v : terminals) {
+    out << "t " << v << " " << trace.base.LabelOf(v) << "\n";
+  }
+  out << "steps " << trace.steps.size() << "\n";
+  for (std::size_t i = 0; i < trace.steps.size(); ++i) {
+    const ChurnStep& step = trace.steps[i];
+    out << "step " << i << "\n";
+    for (const NodeId v : step.remove_terminals) out << "rm " << v << "\n";
+    for (const auto& [v, label] : step.add_terminals) {
+      out << "add " << v << " " << label << "\n";
+    }
+  }
+  out << "eof\n";
+}
+
+ChurnTrace ParseChurnTrace(std::istream& in, std::string_view origin) {
+  std::string raw;
+  int line = 0;
+
+  std::istringstream fields;
+  // A typo in a numeric column must fail, not load a different trace.
+  const auto no_trailing = [&](const std::string& head) {
+    std::string trailing;
+    if (fields >> trailing) {
+      FailTrace(origin, line, "trailing tokens after '" + head + "'");
+    }
+  };
+  // Record lines arrive in a fixed sequence, so the reader demands each one
+  // by its keyword instead of dispatching on whatever appears.
+  const auto next_record = [&](const std::string& keyword) {
+    while (ReadLine(in, raw)) {
+      ++line;
+      fields = std::istringstream(raw);
+      std::string head;
+      if (!(fields >> head)) continue;  // blank line
+      if (head == "#") continue;       // comment
+      if (head != keyword) {
+        FailTrace(origin, line,
+                  "expected '" + keyword + "', got '" + head + "'");
+      }
+      return;
+    }
+    FailTrace(origin, line, "unexpected end of file (expected '" + keyword +
+                                "')");
+  };
+  const auto want_int = [&](const char* what) -> long long {
+    long long value = 0;
+    if (!(fields >> value)) {
+      FailTrace(origin, line, std::string("expected ") + what);
+    }
+    return value;
+  };
+
+  next_record("dsf-churn");
+  if (want_int("format version") != 1) {
+    FailTrace(origin, line, "unsupported dsf-churn version");
+  }
+  no_trailing("dsf-churn");
+
+  next_record("nodes");
+  const long long n = want_int("node count");
+  no_trailing("nodes");
+  if (n < 1 || n > 100'000'000) {
+    FailTrace(origin, line, "node count out of range");
+  }
+  const auto node_in_range = [&](long long v) -> NodeId {
+    if (v < 0 || v >= n) {
+      FailTrace(origin, line, "node " + std::to_string(v) +
+                                  " out of range [0, " + std::to_string(n) +
+                                  ")");
+    }
+    return static_cast<NodeId>(v);
+  };
+  const auto want_label = [&]() -> Label {
+    const long long l = want_int("label");
+    if (l < 1) FailTrace(origin, line, "labels must be >= 1");
+    return static_cast<Label>(l);
+  };
+
+  next_record("base");
+  const long long base_count = want_int("base terminal count");
+  no_trailing("base");
+  if (base_count < 0 || base_count > n) {
+    FailTrace(origin, line, "base terminal count out of range");
+  }
+  std::vector<std::pair<NodeId, Label>> assign;
+  assign.reserve(static_cast<std::size_t>(base_count));
+  NodeId prev = -1;
+  for (long long i = 0; i < base_count; ++i) {
+    next_record("t");
+    const NodeId v = node_in_range(want_int("terminal node"));
+    const Label label = want_label();
+    no_trailing("t");
+    if (v <= prev) {
+      FailTrace(origin, line,
+                "base terminals must be listed in increasing node order");
+    }
+    prev = v;
+    assign.push_back({v, label});
+  }
+
+  ChurnTrace trace;
+  trace.base = MakeIcInstance(static_cast<int>(n), assign);
+
+  next_record("steps");
+  const long long num_steps = want_int("step count");
+  no_trailing("steps");
+  if (num_steps < 0 || num_steps > 1'000'000) {
+    FailTrace(origin, line, "step count out of range");
+  }
+  trace.steps.reserve(static_cast<std::size_t>(num_steps));
+
+  // Step bodies have no count headers; rm/add lines run until the next
+  // `step`/`eof` keyword, so the reader keeps one record of lookahead: when
+  // a body loop reads past its end, it leaves the record in `head`/`fields`
+  // and sets `pending` for the next take.
+  std::string head;
+  bool pending = false;
+  const auto take_head = [&]() -> bool {
+    if (pending) {
+      pending = false;
+      return true;
+    }
+    while (ReadLine(in, raw)) {
+      ++line;
+      fields = std::istringstream(raw);
+      if (!(fields >> head)) continue;  // blank line
+      if (head == "#") continue;
+      return true;
+    }
+    return false;
+  };
+  const auto expect_head = [&](const std::string& keyword) {
+    if (!take_head()) {
+      FailTrace(origin, line,
+                "unexpected end of file (expected '" + keyword + "')");
+    }
+    if (head != keyword) {
+      FailTrace(origin, line,
+                "expected '" + keyword + "', got '" + head + "'");
+    }
+  };
+
+  for (long long s = 0; s < num_steps; ++s) {
+    expect_head("step");
+    if (want_int("step index") != s) {
+      FailTrace(origin, line, "step indices must run 0.." +
+                                  std::to_string(num_steps - 1) + " in order");
+    }
+    no_trailing("step");
+    ChurnStep step;
+    bool in_adds = false;
+    while (true) {
+      if (!take_head()) {
+        FailTrace(origin, line, "unexpected end of file inside step " +
+                                    std::to_string(s));
+      }
+      if (head == "rm") {
+        if (in_adds) {
+          FailTrace(origin, line, "'rm' lines must precede 'add' lines");
+        }
+        step.remove_terminals.push_back(node_in_range(want_int("node")));
+        no_trailing("rm");
+      } else if (head == "add") {
+        in_adds = true;
+        const NodeId v = node_in_range(want_int("node"));
+        const Label label = want_label();
+        no_trailing("add");
+        step.add_terminals.push_back({v, label});
+      } else {
+        pending = true;  // next step's header or the trailer
+        break;
+      }
+    }
+    trace.steps.push_back(std::move(step));
+  }
+
+  expect_head("eof");
+  no_trailing("eof");
+  if (take_head()) FailTrace(origin, line, "content after eof trailer");
+  return trace;
+}
+
+void SaveChurnTrace(const std::string& path, const ChurnTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write churn trace: " + path);
+  WriteChurnTrace(out, trace);
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing churn trace: " + path);
+}
+
+ChurnTrace LoadChurnTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read churn trace: " + path);
+  return ParseChurnTrace(in, path);
 }
 
 }  // namespace dsf

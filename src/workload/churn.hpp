@@ -16,6 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -50,5 +53,30 @@ struct ChurnTrace {
 // needs to terminate promptly).
 ChurnTrace SampleChurnTrace(int n, int range, int pairs, int num_steps,
                             int churn, std::uint64_t seed);
+
+// Trace persistence — the scenario-file form the suite's `churn` directive
+// replays. Line-oriented text, one record per line:
+//
+//   dsf-churn 1          magic + format version
+//   nodes N              base instance node count
+//   base K               number of base terminals, then K lines of
+//   t V L                  terminal V with label L (increasing node order)
+//   steps S              number of steps, then per step:
+//   step I                 header (I = 0-based step index), followed by
+//   rm V                   one line per removed terminal (stored order)
+//   add V L                one line per added terminal (stored order)
+//   eof                  trailer (guards against truncation)
+//
+// Write→parse is lossless: terminals are emitted in the increasing node
+// order MakeIcInstance sorts to, and step vectors keep their stored order,
+// so the reloaded trace is bit-equal (same label vectors, same deltas, same
+// canonical keys). Parse errors throw std::runtime_error prefixed
+// "origin:line:".
+void WriteChurnTrace(std::ostream& out, const ChurnTrace& trace);
+ChurnTrace ParseChurnTrace(std::istream& in, std::string_view origin);
+// File wrappers; Save refuses to write an unreadable path, Load a missing
+// one, both with the path in the error.
+void SaveChurnTrace(const std::string& path, const ChurnTrace& trace);
+ChurnTrace LoadChurnTrace(const std::string& path);
 
 }  // namespace dsf

@@ -1,8 +1,12 @@
 #include "workload/generators.hpp"
 
+#include <algorithm>
 #include <array>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/random.hpp"
 #include "graph/generators.hpp"
@@ -196,9 +200,153 @@ Graph BuildSubdividedEr(const ParamMap& pm, std::uint64_t seed) {
   return SubdivideEdges(base, static_cast<int>(pieces));
 }
 
+// High-diameter expander with planted far terminal pairs: an expander core
+// (cycle + random chords) with 2 * `pairs` long tail paths hanging off it.
+// Pair p's endpoints are nodes 2p and 2p+1 — the id prefix [0, 2*pairs), so
+// explicit instances and samplers with `span` can target them directly. Any
+// endpoint-to-endpoint route crosses both tails, so planted pairs sit at
+// distance >= 2 * tail while the core keeps mixing fast — the adversarial
+// regime where the paper's Õ(S + sqrt(...)) round bound is dominated by the
+// shortest-path diameter, not the hop diameter.
+constexpr ParamSpec kExpanderFarPairsParams[] = {
+    {"pairs", Kind::kInt, "planted far pairs (endpoints are ids 0..2*pairs-1)",
+     4, 1, 10'000},
+    {"tail", Kind::kInt, "tail path edges per endpoint", 8, 1, 10'000},
+    {"core", Kind::kInt, "expander core nodes (cycle + chords)", 32, 3,
+     kMaxDenseNodes},
+    {"chords", Kind::kInt, "random chords added to the core cycle", 48, 0,
+     100'000},
+    {"w", Kind::kInt, "edge weight", 1, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildExpanderFarPairs(const ParamMap& pm, std::uint64_t seed) {
+  const long long pairs = pm.GetInt("pairs");
+  const long long tail = pm.GetInt("tail");
+  const long long core = pm.GetInt("core");
+  const long long endpoints = 2 * pairs;
+  // Endpoint e owns tail nodes [first_tail + e*(tail-1), ...); the core is
+  // the id suffix. n = endpoints + endpoints*(tail-1) + core.
+  const long long total = endpoints * tail + core;
+  if (total > kMaxNodes) {
+    FailFamily("expander-far-pairs",
+               "2*pairs*tail + core yields " + std::to_string(total) +
+                   " nodes (cap " + std::to_string(kMaxNodes) + ")");
+  }
+  const Weight w = WeightParam(pm, "w");
+  const auto n = static_cast<int>(total);
+  const auto core_base = static_cast<NodeId>(endpoints * tail);
+  Graph g(n);
+  // Tails: endpoint e -> tail-1 fresh nodes -> its core attach point. Attach
+  // points are spread deterministically around the cycle so the planted
+  // pairs load distinct core regions.
+  for (long long e = 0; e < endpoints; ++e) {
+    const NodeId attach =
+        core_base + static_cast<NodeId>((e * core) / endpoints);
+    NodeId prev = static_cast<NodeId>(e);
+    for (long long j = 0; j < tail - 1; ++j) {
+      const NodeId mid =
+          static_cast<NodeId>(endpoints + e * (tail - 1) + j);
+      g.AddEdge(prev, mid, w);
+      prev = mid;
+    }
+    g.AddEdge(prev, attach, w);
+  }
+  // Core: cycle + `chords` distinct random chords (no self-loops, no
+  // duplicates of cycle or earlier chords).
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (long long i = 0; i < core; ++i) {
+    const NodeId u = core_base + static_cast<NodeId>(i);
+    const NodeId v = core_base + static_cast<NodeId>((i + 1) % core);
+    if (u != v) {
+      const auto key = std::minmax(u, v);
+      if (seen.insert({key.first, key.second}).second) g.AddEdge(u, v, w);
+    }
+  }
+  SplitMix64 rng(seed);
+  const long long want = pm.GetInt("chords");
+  const long long distinct_pairs = core * (core - 1) / 2;
+  long long added = 0;
+  // The draw saturates when the core is small; stop once every pair exists.
+  while (added < want &&
+         static_cast<long long>(seen.size()) < distinct_pairs) {
+    const NodeId u =
+        core_base + static_cast<NodeId>(rng.NextBelow(
+                        static_cast<std::uint64_t>(core)));
+    const NodeId v =
+        core_base + static_cast<NodeId>(rng.NextBelow(
+                        static_cast<std::uint64_t>(core)));
+    if (u == v) continue;
+    const auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    g.AddEdge(u, v, w);
+    ++added;
+  }
+  g.Finalize();
+  return g;
+}
+
+// Power-law / preferential-attachment graph (Barabási–Albert shape): node i
+// joins by connecting to up to `m` distinct earlier nodes, each drawn as a
+// uniformly random endpoint of an existing edge (degree-proportional), so
+// hub degrees grow heavy-tailed. Connected by construction; weights uniform
+// in [min_w, max_w].
+constexpr ParamSpec kPowerLawParams[] = {
+    {"n", Kind::kInt, "number of nodes", 64, 2, kMaxNodes},
+    {"m", Kind::kInt, "attachment edges per new node", 2, 1, 64},
+    {"min_w", Kind::kInt, "minimum edge weight", 1, 1, kMaxWeight},
+    {"max_w", Kind::kInt, "maximum edge weight", 8, 1, kMaxWeight},
+    kSaltSpec,
+};
+Graph BuildPowerLaw(const ParamMap& pm, std::uint64_t seed) {
+  CheckWeightRange("power-law", pm);
+  const int n = IntParam(pm, "n");
+  const int m = IntParam(pm, "m");
+  const Weight min_w = WeightParam(pm, "min_w");
+  const Weight max_w = WeightParam(pm, "max_w");
+  SplitMix64 rng(seed);
+  Graph g(n);
+  // Every edge endpoint, duplicated by multiplicity: drawing uniformly from
+  // this vector is exactly degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2 * m) *
+                    static_cast<std::size_t>(n));
+  std::vector<NodeId> targets;
+  for (NodeId v = 1; v < n; ++v) {
+    targets.clear();
+    const int want = std::min<int>(m, v);
+    while (static_cast<int>(targets.size()) < want) {
+      // The first edge of the whole graph has no endpoint pool yet; seed the
+      // draw uniformly. Re-draws on collision terminate quickly because
+      // want <= v distinct targets always exist among v older nodes.
+      NodeId t = endpoints.empty()
+                     ? static_cast<NodeId>(rng.NextBelow(
+                           static_cast<std::uint64_t>(v)))
+                     : endpoints[static_cast<std::size_t>(rng.NextBelow(
+                           endpoints.size()))];
+      if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        // Collision: fall back to a uniform draw so tiny prefixes (where
+        // the hub owns nearly every endpoint slot) cannot spin.
+        t = static_cast<NodeId>(rng.NextBelow(
+            static_cast<std::uint64_t>(v)));
+        if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+          continue;
+        }
+      }
+      targets.push_back(t);
+    }
+    for (const NodeId t : targets) {
+      g.AddEdge(v, t, static_cast<Weight>(rng.NextInt(min_w, max_w)));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
 // Canonical registration order — also the order Names() reports and
 // `dsf --list-generators` prints.
-constexpr std::array<GeneratorFamily, 10> kFamilies{{
+constexpr std::array<GeneratorFamily, 12> kFamilies{{
     {"path", "path 0-1-...-(n-1), uniform weight", kPathParams, BuildPath},
     {"cycle", "cycle on n nodes, uniform weight", kCycleParams, BuildCycle},
     {"star", "star: center 0 with n-1 leaves", kStarParams, BuildStar},
@@ -216,6 +364,12 @@ constexpr std::array<GeneratorFamily, 10> kFamilies{{
      kCaterpillarParams, BuildCaterpillar},
     {"subdivided-er", "ER base with every edge split into `pieces` segments",
      kSubdividedErParams, BuildSubdividedEr},
+    {"expander-far-pairs",
+     "expander core with planted far pairs on long tails (ids 0..2*pairs-1)",
+     kExpanderFarPairsParams, BuildExpanderFarPairs},
+    {"power-law",
+     "preferential-attachment graph: node i joins `m` degree-biased targets",
+     kPowerLawParams, BuildPowerLaw},
 }};
 
 }  // namespace

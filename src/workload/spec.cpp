@@ -13,6 +13,7 @@
 #include "common/random.hpp"
 #include "common/text.hpp"
 #include "solve/solver_spec.hpp"
+#include "workload/churn.hpp"
 #include "workload/generators.hpp"
 #include "workload/import.hpp"
 
@@ -397,6 +398,40 @@ WorkloadSpec ParseWorkloadSpec(std::istream& in, const std::string& origin) {
       }
       st.Current()->instances.push_back(std::move(inst));
       st.sweep_target = SweepTarget::kSampler;
+    } else if (directive == "churn") {
+      if (st.Current() == nullptr) {
+        Fail(origin, line, "a graph source must come first");
+      }
+      FlushInstance(st, line);
+      InstanceSpec inst;
+      inst.kind = InstanceSpec::Kind::kChurn;
+      inst.name = want_word("instance name");
+      inst.path = want_word("trace path");
+      inst.line = line;
+      CheckInstanceName(st, inst.name, line);
+      std::string token;
+      if (fields >> token) {
+        // The only knob is the replay depth; k=v form keeps room for more.
+        if (token.rfind("steps=", 0) != 0) {
+          Fail(origin, line,
+               "expected steps=<N> after the trace path, got '" + token + "'");
+        }
+        const std::string num = token.substr(6);
+        std::size_t pos = 0;
+        long long value = -1;
+        try {
+          value = std::stoll(num, &pos);
+        } catch (const std::exception&) {
+          pos = std::string::npos;
+        }
+        if (pos != num.size() || value < 0 || value > 1'000'000) {
+          Fail(origin, line, "steps= needs an integer in [0, 1000000]");
+        }
+        inst.churn_steps = static_cast<int>(value);
+        no_trailing();
+      }
+      st.Current()->instances.push_back(std::move(inst));
+      st.sweep_target = SweepTarget::kNone;
     } else if (directive == "sweep") {
       if (st.Current() == nullptr || st.sweep_target == SweepTarget::kNone) {
         Fail(origin, line,
@@ -621,6 +656,41 @@ Workload ExpandWorkload(const WorkloadSpec& spec) {
                 });
           } catch (const std::runtime_error& e) {
             // Re-wrapping an already-located error would stutter origins.
+            if (std::string_view(e.what()).find(spec.origin + ":") == 0) {
+              throw;
+            }
+            Fail(spec.origin, inst.line, e.what());
+          }
+          continue;
+        }
+        if (inst.kind == InstanceSpec::Kind::kChurn) {
+          try {
+            const std::filesystem::path p(inst.path);
+            const std::string resolved =
+                (p.is_absolute() || spec.base_dir.empty())
+                    ? inst.path
+                    : (std::filesystem::path(spec.base_dir) / p).string();
+            const ChurnTrace trace = LoadChurnTrace(resolved);
+            if (trace.base.NumNodes() != n) {
+              throw std::runtime_error(
+                  "churn trace '" + inst.path + "' covers " +
+                  std::to_string(trace.base.NumNodes()) +
+                  " nodes but the graph has " + std::to_string(n));
+            }
+            if (inst.churn_steps >
+                static_cast<int>(trace.steps.size())) {
+              throw std::runtime_error(
+                  "churn instance '" + inst.name + "' replays " +
+                  std::to_string(inst.churn_steps) +
+                  " steps but the trace has only " +
+                  std::to_string(trace.steps.size()));
+            }
+            WorkloadInstance built;
+            built.name = inst.name;
+            built.ic = trace.StateAt(inst.churn_steps);
+            wc.instances.push_back(std::move(built));
+          } catch (const std::runtime_error& e) {
+            // Trace parse errors already carry their own origin:line.
             if (std::string_view(e.what()).find(spec.origin + ":") == 0) {
               throw;
             }

@@ -33,6 +33,12 @@
 //   cr <name>                 # begins a DSF-CR instance (Definition 2.1)
 //   pair <u> <v>              #   symmetric connection request
 //   sample <sampler> <name> [k=v ...]          # registry sampler
+//   churn <name> <path> [steps=N]              # replay a saved churn trace
+//                             # (workload/churn.*): the instance is the
+//                             # trace's state after N steps (default 0, the
+//                             # base population); the trace's node count
+//                             # must equal the case's n. Paths resolve
+//                             # relative to the spec file, like imports.
 //
 // A SteinLib import whose file carries terminals contributes an implicit
 // leading instance named "terminals". Instance names must be unique within
@@ -72,7 +78,7 @@ struct RawParams {
 };
 
 struct InstanceSpec {
-  enum class Kind { kExplicitIc, kExplicitCr, kSample };
+  enum class Kind { kExplicitIc, kExplicitCr, kSample, kChurn };
   Kind kind = Kind::kExplicitIc;
   std::string name;
   int line = 0;
@@ -83,6 +89,10 @@ struct InstanceSpec {
   // kSample:
   std::string sampler;
   RawParams params;
+  // kChurn: trace file (resolved against WorkloadSpec::base_dir) and the
+  // number of steps to replay before materializing the state.
+  std::string path;
+  int churn_steps = 0;
 };
 
 struct CaseSpec {

@@ -15,6 +15,7 @@
 
 #include "graph/properties.hpp"
 #include "solve/batch.hpp"
+#include "workload/churn.hpp"
 #include "workload/generators.hpp"
 #include "workload/import.hpp"
 #include "workload/samplers.hpp"
@@ -568,6 +569,179 @@ TEST(ImportTest, StpLoadsAsSingleCaseWorkload) {
   ASSERT_EQ(w.cases[0].instances.size(), 1u);
   EXPECT_EQ(w.cases[0].instances[0].name, "terminals");
   EXPECT_EQ(w.cases[0].instances[0].ic.NumTerminals(), 2);
+}
+
+// --- the new adversarial families --------------------------------------------
+
+TEST(GeneratorRegistryTest, ExpanderFarPairsPlantsEndpointsOnTails) {
+  // pairs=3, tail=8, core=32: endpoints are ids 0..5, each the tip of a
+  // tail-long path into the core, so total n = 6 * 8 + 32.
+  const Graph g = BuildGenerator(
+      "expander-far-pairs",
+      ParamList{{"pairs", "3"}, {"tail", "8"}, {"core", "32"}}, 3);
+  EXPECT_EQ(g.NumNodes(), 6 * 8 + 32);
+  for (NodeId endpoint = 0; endpoint < 6; ++endpoint) {
+    EXPECT_EQ(g.Neighbors(endpoint).size(), 1u)
+        << "endpoint " << endpoint << " must be a tail tip";
+  }
+}
+
+TEST(GeneratorRegistryTest, PowerLawGrowsHubs) {
+  const Graph g =
+      BuildGenerator("power-law", ParamList{{"n", "200"}, {"m", "2"}}, 11);
+  EXPECT_EQ(g.NumNodes(), 200);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, g.Neighbors(v).size());
+  }
+  // Preferential attachment concentrates degree: with m=2 the heaviest hub
+  // sits far above the ~4 average degree for any seed.
+  EXPECT_GE(max_degree, 8u);
+}
+
+// --- churn traces and the `churn` directive ----------------------------------
+
+std::string TraceToString(const ChurnTrace& trace) {
+  std::ostringstream os;
+  WriteChurnTrace(os, trace);
+  return os.str();
+}
+
+TEST(ChurnTraceTest, WriteParseWriteIsBitIdentical) {
+  const ChurnTrace trace = SampleChurnTrace(60, 0, 6, 5, 2, 99);
+  const std::string once = TraceToString(trace);
+  std::istringstream in(once);
+  const ChurnTrace parsed = ParseChurnTrace(in, "<mem>");
+  EXPECT_EQ(TraceToString(parsed), once);
+  EXPECT_EQ(parsed.base.NumTerminals(), trace.base.NumTerminals());
+  ASSERT_EQ(parsed.steps.size(), trace.steps.size());
+  // Replayed states match the original at every step depth.
+  for (int k = 0; k <= static_cast<int>(trace.steps.size()); ++k) {
+    const IcInstance a = trace.StateAt(k);
+    const IcInstance b = parsed.StateAt(k);
+    ASSERT_EQ(a.Terminals(), b.Terminals()) << "step " << k;
+    for (const NodeId v : a.Terminals()) {
+      EXPECT_EQ(a.LabelOf(v), b.LabelOf(v)) << "step " << k;
+    }
+  }
+}
+
+TEST(ChurnTraceTest, ParserRejectsMalformedWithOriginAndLine) {
+  const auto error_of = [](const std::string& text) {
+    std::istringstream in(text);
+    try {
+      (void)ParseChurnTrace(in, "<trace>");
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Wrong magic.
+  EXPECT_NE(error_of("bogus 1\n").find("<trace>:1:"), std::string::npos);
+  // Unsupported version.
+  EXPECT_NE(error_of("dsf-churn 2\n").find("<trace>:1:"), std::string::npos);
+  // Base terminals out of increasing node order (line 5).
+  EXPECT_NE(error_of("dsf-churn 1\nnodes 10\nbase 2\nt 5 1\nt 3 1\n"
+                     "steps 0\neof\n")
+                .find("<trace>:5:"),
+            std::string::npos);
+  // Content after the trailer.
+  EXPECT_NE(error_of("dsf-churn 1\nnodes 10\nbase 0\nsteps 0\neof\nx\n")
+                .find("after eof"),
+            std::string::npos);
+  // Missing trailer.
+  EXPECT_NE(error_of("dsf-churn 1\nnodes 10\nbase 0\nsteps 0\n")
+                .find("eof"),
+            std::string::npos);
+}
+
+TEST(WorkloadSpecTest, ChurnDirectiveReplaysTraceStates) {
+  const ChurnTrace trace = SampleChurnTrace(50, 0, 5, 4, 2, 123);
+  const std::string path = ::testing::TempDir() + "/dsf_churn_test.trace";
+  SaveChurnTrace(path, trace);
+
+  const Workload w = ExpandString(
+      "generate er n=50 p=0.08 as base\n"
+      "churn at0 " + path + "\n"
+      "churn at4 " + path + " steps=4\n");
+  ASSERT_EQ(w.cases.size(), 1u);
+  ASSERT_EQ(w.cases[0].instances.size(), 2u);
+  EXPECT_EQ(w.cases[0].instances[0].name, "at0");
+  EXPECT_EQ(w.cases[0].instances[1].name, "at4");
+  const IcInstance expect0 = trace.StateAt(0);
+  const IcInstance expect4 = trace.StateAt(4);
+  EXPECT_EQ(w.cases[0].instances[0].ic.Terminals(), expect0.Terminals());
+  EXPECT_EQ(w.cases[0].instances[1].ic.Terminals(), expect4.Terminals());
+}
+
+TEST(WorkloadSpecTest, ChurnDirectiveRejectsBadUses) {
+  const ChurnTrace trace = SampleChurnTrace(50, 0, 5, 4, 2, 123);
+  const std::string path = ::testing::TempDir() + "/dsf_churn_test.trace";
+  SaveChurnTrace(path, trace);
+
+  // Before any case block.
+  EXPECT_THROW((void)ExpandString("churn c " + path + "\n"),
+               std::runtime_error);
+  // Malformed steps= argument.
+  EXPECT_THROW((void)ExpandString("generate er n=50\nchurn c " + path +
+                                  " steps=abc\n"),
+               std::runtime_error);
+  // More steps than the trace holds.
+  EXPECT_THROW((void)ExpandString("generate er n=50\nchurn c " + path +
+                                  " steps=99\n"),
+               std::runtime_error);
+  // Node-count mismatch between trace (50) and case (40).
+  EXPECT_THROW((void)ExpandString("generate er n=40\nchurn c " + path + "\n"),
+               std::runtime_error);
+}
+
+// --- the committed suite corpus ----------------------------------------------
+
+// Pins the exact shape of every checked-in SteinLib lookalike: a regenerated
+// or hand-edited corpus changes these counts and must arrive together with a
+// new suite baseline.
+TEST(ImportTest, SuiteCorpusShapesArePinned) {
+  struct Pin {
+    const char* name;
+    int n;
+    EdgeId m;
+    int terminals;
+  };
+  constexpr Pin kPins[] = {
+      {"b_like_01", 50, 141, 9},  {"b_like_02", 50, 182, 9},
+      {"c_like_01", 100, 357, 12}, {"c_like_02", 100, 461, 12},
+      {"d_like_01", 160, 550, 16}, {"d_like_02", 160, 763, 16},
+  };
+  for (const Pin& pin : kPins) {
+    const std::string path = std::string(DSF_SOURCE_DIR) +
+                             "/scenarios/suite/" + pin.name + ".stp";
+    const Workload w = LoadWorkload(path);
+    ASSERT_EQ(w.cases.size(), 1u) << pin.name;
+    EXPECT_EQ(w.cases[0].graph.NumNodes(), pin.n) << pin.name;
+    EXPECT_EQ(w.cases[0].graph.NumEdges(), pin.m) << pin.name;
+    ASSERT_EQ(w.cases[0].instances.size(), 1u) << pin.name;
+    EXPECT_EQ(w.cases[0].instances[0].ic.NumTerminals(), pin.terminals)
+        << pin.name;
+  }
+}
+
+// The committed adversarial spec expands deterministically into the six
+// generated instances the suite wall measures.
+TEST(WorkloadSpecTest, CommittedAdversarialSpecExpands) {
+  const Workload w = LoadWorkload(std::string(DSF_SOURCE_DIR) +
+                                  "/scenarios/suite/adversarial.dsf");
+  ASSERT_EQ(w.cases.size(), 3u);
+  EXPECT_EQ(w.cases[0].name, "expander");
+  EXPECT_EQ(w.cases[1].name, "powerlaw");
+  EXPECT_EQ(w.cases[2].name, "er100");
+  EXPECT_EQ(w.cases[0].instances.size(), 1u);
+  EXPECT_EQ(w.cases[1].instances.size(), 2u);
+  ASSERT_EQ(w.cases[2].instances.size(), 3u);
+  // The churn replays share the trace's base population and drift apart as
+  // steps apply.
+  EXPECT_EQ(w.cases[2].instances[0].name, "churn0");
+  EXPECT_EQ(w.cases[2].instances[0].ic.NumTerminals(), 16);
+  EXPECT_EQ(w.cases[2].instances[2].name, "churn6");
 }
 
 TEST(ImportTest, SpecImportsStpWithSampledInstances) {
